@@ -1,0 +1,41 @@
+# Convenience targets for the concert reproduction. Everything is plain Go;
+# these are shorthands, not requirements.
+
+GO ?= go
+
+.PHONY: all build test bench tables figure9 examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full verification record, as shipped in test_output.txt / bench_output.txt.
+record:
+	$(GO) test -count=1 ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem -run XXXnone ./... 2>&1 | tee bench_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem -run XXXnone .
+
+tables:
+	$(GO) run ./cmd/tables -scale medium
+
+figure9:
+	$(GO) run ./cmd/figure9
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/heat -cells 1024 -iters 5
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/kernels
+	$(GO) run ./examples/minilang
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

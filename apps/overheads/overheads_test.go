@@ -1,0 +1,97 @@
+package overheads
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func find(entries []Entry, scenario, caller string) Entry {
+	for _, e := range entries {
+		if e.Scenario == scenario && e.Caller == caller {
+			return e
+		}
+	}
+	panic("scenario not measured: " + scenario + "/" + caller)
+}
+
+// TestTable2Shape verifies the paper's Table 2 orderings on the SPARC
+// model: sequential completion overheads are small (order of the schema
+// extras, far below a heap invocation), ordered NB < MB < CP; fallback
+// overheads are larger but the pure (message-free) fallback stays at most
+// around the heap-invocation cost, so speculation is worth one fallback.
+func TestTable2Shape(t *testing.T) {
+	mdl := machine.SPARCStation()
+	entries, heapInvoke, remote := Measure(mdl)
+
+	nb := find(entries, "call NB (completes)", "stack").Overhead
+	mb := find(entries, "call MB (completes)", "stack").Overhead
+	cp := find(entries, "call CP (completes)", "stack").Overhead
+	if !(nb < mb && mb < cp) {
+		t.Errorf("completion overheads not ordered: NB=%d MB=%d CP=%d", nb, mb, cp)
+	}
+	if nb > 15 {
+		t.Errorf("NB completion overhead %d, want near a C call (paper: 6-8 extra)", nb)
+	}
+	if cp >= heapInvoke/3 {
+		t.Errorf("CP completion overhead %d should be far below heap invocation %d", cp, heapInvoke)
+	}
+
+	lockFb := find(entries, "MB blocks on lock", "stack").Overhead
+	if lockFb <= cp {
+		t.Errorf("fallback overhead %d should exceed completion overhead %d", lockFb, cp)
+	}
+	if lockFb > 2*heapInvoke {
+		t.Errorf("pure fallback %d should be comparable to heap invocation %d (paper: max fallback ~ heap cost)",
+			lockFb, heapInvoke)
+	}
+
+	if heapInvoke < 100 || heapInvoke > 170 {
+		t.Errorf("heap invocation overhead = %d, want ~130 (paper Table 2)", heapInvoke)
+	}
+	if remote < 5*heapInvoke {
+		t.Errorf("remote invocation %d should be several times a heap invocation %d", remote, heapInvoke)
+	}
+}
+
+// TestRemoteInvokeRatioCM5: Section 4.3.1 — on the CM-5, a remote
+// invocation costs about 10x a local heap invocation.
+func TestRemoteInvokeRatioCM5(t *testing.T) {
+	mdl := machine.CM5()
+	_, heapInvoke, remote := Measure(mdl)
+	ratio := float64(remote) / float64(heapInvoke)
+	if ratio < 6 || ratio > 14 {
+		t.Errorf("CM-5 remote/local heap invocation ratio = %.1f, want ~10", ratio)
+	}
+}
+
+// TestMeasurementsDeterministic: the measured overheads are exact charge
+// sums, so repeated measurement must agree instruction for instruction.
+func TestMeasurementsDeterministic(t *testing.T) {
+	a, ha, ra := Measure(machine.SPARCStation())
+	b, hb, rb := Measure(machine.SPARCStation())
+	if ha != hb || ra != rb || len(a) != len(b) {
+		t.Fatal("nondeterministic measurement")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic entry %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAllScenariosPositive: every scenario measures a nonzero overhead on
+// every machine model.
+func TestAllScenariosPositive(t *testing.T) {
+	for _, mdl := range []*machine.Model{machine.SPARCStation(), machine.CM5(), machine.T3D()} {
+		entries, heapInvoke, _ := Measure(mdl)
+		if heapInvoke <= 0 {
+			t.Errorf("%s: non-positive heap invocation cost", mdl.Name)
+		}
+		for _, e := range entries {
+			if e.Overhead <= 0 {
+				t.Errorf("%s: %s/%s measured %d, want > 0", mdl.Name, e.Scenario, e.Caller, e.Overhead)
+			}
+		}
+	}
+}

@@ -1,0 +1,380 @@
+// Package seqbench implements the function-call-intensive sequential
+// benchmark suite of the paper's Table 3. The paper names fib and tak (its
+// footnote discusses their relative inlining behavior); the remaining rows
+// are substituted like-for-like with two more classic call-intensive
+// programs, nqueens and qsort. Each program exists in two forms:
+//
+//   - a fine-grained concurrent version built on the hybrid runtime, where
+//     every call is a method invocation with implicit futures (this is what
+//     the Concert compiler would emit), and
+//   - a native Go version standing in for the paper's "C program" column.
+//
+// Table 3's columns are produced by running the concurrent version under
+// parallel-only, hybrid with 1/2/3 interfaces, and Seq-opt configurations.
+package seqbench
+
+import (
+	"repro/internal/core"
+	"repro/internal/instr"
+)
+
+// Methods bundles the registered methods of the suite.
+type Methods struct {
+	Prog    *core.Program
+	Fib     *core.Method
+	Tak     *core.Method
+	NQueens *core.Method
+	Qsort   *core.Method
+}
+
+// Per-invocation useful-work charges (virtual instructions). These are the
+// arithmetic bodies of each method, kept small: the suite is call-intensive
+// by design.
+const (
+	fibWork   = 6
+	takWork   = 8
+	nqWork    = 12
+	qsPerElem = 4
+)
+
+// Build registers the suite's methods into a fresh program. Resolve must be
+// called by the runner (the interface set is an experimental variable).
+func Build() *Methods {
+	p := core.NewProgram()
+	m := &Methods{Prog: p}
+
+	// add(a, b): a non-blocking leaf; under the full interface set it runs
+	// as a plain C call, while the 1-interface configuration forces it
+	// through the continuation-passing convention (Table 3's comparison).
+	add := &core.Method{Name: "add", NArgs: 2}
+	add.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		rt.Work(fr, 2)
+		rt.Reply(fr, core.IntW(fr.Arg(0).Int()+fr.Arg(1).Int()))
+		return core.Done
+	}
+	p.Add(add)
+
+	// fib(n): two concurrent self-calls, one touch of both futures, and a
+	// non-blocking combine.
+	fib := &core.Method{Name: "fib", NArgs: 1, NFutures: 3, MayBlockLocal: true}
+	fib.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		switch fr.PC {
+		case 0:
+			n := fr.Arg(0).Int()
+			rt.Work(fr, fibWork)
+			if n < 2 {
+				rt.Reply(fr, core.IntW(n))
+				return core.Done
+			}
+			st := rt.Invoke(fr, fib, fr.Self, 0, core.IntW(n-1))
+			fr.PC = 1
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			st := rt.Invoke(fr, fib, fr.Self, 1, core.IntW(fr.Arg(0).Int()-2))
+			fr.PC = 2
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 2:
+			if !rt.TouchAll(fr, core.Mask(0, 1)) {
+				return core.Unwound
+			}
+			st := rt.Invoke(fr, add, fr.Self, 2, fr.Fut(0), fr.Fut(1))
+			fr.PC = 3
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 3:
+			if !rt.TouchAll(fr, core.Mask(2)) {
+				return core.Unwound
+			}
+			rt.Reply(fr, fr.Fut(2))
+			return core.Done
+		}
+		panic("fib: bad pc")
+	}
+	fib.Calls = []*core.Method{fib, add}
+	p.Add(fib)
+	m.Fib = fib
+
+	// tak(x,y,z): three concurrent self-calls, a touch, then a fourth call
+	// on the results.
+	tak := &core.Method{Name: "tak", NArgs: 3, NFutures: 4, MayBlockLocal: true}
+	tak.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		x, y, z := fr.Arg(0).Int(), fr.Arg(1).Int(), fr.Arg(2).Int()
+		switch fr.PC {
+		case 0:
+			rt.Work(fr, takWork)
+			if y >= x {
+				rt.Reply(fr, core.IntW(z))
+				return core.Done
+			}
+			st := rt.Invoke(fr, tak, fr.Self, 0, core.IntW(x-1), core.IntW(y), core.IntW(z))
+			fr.PC = 1
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			st := rt.Invoke(fr, tak, fr.Self, 1, core.IntW(y-1), core.IntW(z), core.IntW(x))
+			fr.PC = 2
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 2:
+			st := rt.Invoke(fr, tak, fr.Self, 2, core.IntW(z-1), core.IntW(x), core.IntW(y))
+			fr.PC = 3
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 3:
+			if !rt.TouchAll(fr, core.Mask(0, 1, 2)) {
+				return core.Unwound
+			}
+			st := rt.Invoke(fr, tak, fr.Self, 3, fr.Fut(0), fr.Fut(1), fr.Fut(2))
+			fr.PC = 4
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 4:
+			if !rt.TouchAll(fr, core.Mask(3)) {
+				return core.Unwound
+			}
+			rt.Reply(fr, fr.Fut(3))
+			return core.Done
+		}
+		panic("tak: bad pc")
+	}
+	tak.Calls = []*core.Method{tak}
+	p.Add(tak)
+	m.Tak = tak
+
+	// nqueens(cols, d1, d2, row, n): one concurrent self-call per open
+	// column, counted with a wide touch. Locals: 0 = remaining bits,
+	// 1 = children issued.
+	nq := &core.Method{Name: "nqueens", NArgs: 5, NLocals: 2, NFutures: 14, MayBlockLocal: true}
+	nq.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		cols, d1, d2 := uint64(fr.Arg(0)), uint64(fr.Arg(1)), uint64(fr.Arg(2))
+		row, n := fr.Arg(3).Int(), fr.Arg(4).Int()
+		full := uint64(1)<<uint(n) - 1
+		switch fr.PC {
+		case 0:
+			rt.Work(fr, nqWork)
+			if row == n {
+				rt.Reply(fr, core.IntW(1))
+				return core.Done
+			}
+			fr.SetLocal(0, core.Word(^(cols|d1|d2)&full))
+			fr.SetLocal(1, 0)
+			fr.PC = 1
+			fallthrough
+		case 1:
+			for {
+				avail := uint64(fr.Local(0))
+				if avail == 0 {
+					break
+				}
+				bit := avail & (-avail)
+				i := int(fr.Local(1).Int())
+				fr.SetLocal(0, core.Word(avail&(avail-1)))
+				fr.SetLocal(1, core.IntW(int64(i+1)))
+				st := rt.Invoke(fr, nq, fr.Self, i,
+					core.Word(cols|bit), core.Word((d1|bit)<<1), core.Word((d2|bit)>>1),
+					core.IntW(row+1), core.IntW(n))
+				if st == core.NeedUnwind {
+					return rt.Unwind(fr)
+				}
+			}
+			fr.PC = 2
+			fallthrough
+		case 2:
+			k := int(fr.Local(1).Int())
+			if !rt.TouchAll(fr, core.MaskRange(0, k)) {
+				return core.Unwound
+			}
+			var sum int64
+			for i := 0; i < k; i++ {
+				sum += fr.Fut(i).Int()
+			}
+			rt.Reply(fr, core.IntW(sum))
+			return core.Done
+		}
+		panic("nqueens: bad pc")
+	}
+	nq.Calls = []*core.Method{nq}
+	p.Add(nq)
+	m.NQueens = nq
+
+	// partition(lo, hi): a non-blocking leaf performing the in-place
+	// median-of-three partition and returning the pivot index.
+	partitionM := &core.Method{Name: "qsort.partition", NArgs: 2}
+	partitionM.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		a := fr.Node.State(fr.Self).(*Array).A
+		lo, hi := int(fr.Arg(0).Int()), int(fr.Arg(1).Int())
+		pv := partitionInts(a, lo, hi)
+		rt.Work(fr, qsPerElem*instrSpan(lo, hi))
+		rt.Reply(fr, core.IntW(int64(pv)))
+		return core.Done
+	}
+	p.Add(partitionM)
+
+	// qsort(lo, hi) over a shared array object: a non-blocking partition,
+	// two concurrent self-calls, a join.
+	qs := &core.Method{Name: "qsort", NArgs: 2, NLocals: 1, NFutures: 3, MayBlockLocal: true}
+	qs.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		a := fr.Node.State(fr.Self).(*Array).A
+		lo, hi := int(fr.Arg(0).Int()), int(fr.Arg(1).Int())
+		switch fr.PC {
+		case 0:
+			if hi-lo < 8 {
+				insertionSort(a, lo, hi)
+				rt.Work(fr, qsPerElem*instrSpan(lo, hi))
+				rt.Reply(fr, 0)
+				return core.Done
+			}
+			st := rt.Invoke(fr, partitionM, fr.Self, 2, fr.Arg(0), fr.Arg(1))
+			fr.PC = 1
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, core.Mask(2)) {
+				return core.Unwound
+			}
+			fr.SetLocal(0, fr.Fut(2))
+			pv := int(fr.Fut(2).Int())
+			st := rt.Invoke(fr, qs, fr.Self, 0, fr.Arg(0), core.IntW(int64(pv-1)))
+			fr.PC = 2
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 2:
+			pv := int(fr.Local(0).Int())
+			st := rt.Invoke(fr, qs, fr.Self, 1, core.IntW(int64(pv+1)), fr.Arg(1))
+			fr.PC = 3
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 3:
+			if !rt.TouchAll(fr, core.Mask(0, 1)) {
+				return core.Unwound
+			}
+			rt.Reply(fr, 0)
+			return core.Done
+		}
+		panic("qsort: bad pc")
+	}
+	qs.Calls = []*core.Method{qs, partitionM}
+	p.Add(qs)
+	m.Qsort = qs
+
+	return m
+}
+
+// Array is the object state for qsort.
+type Array struct{ A []int64 }
+
+func instrSpan(lo, hi int) instr.Instr {
+	if hi < lo {
+		return 1
+	}
+	return instr.Instr(hi - lo + 1)
+}
+
+func insertionSort(a []int64, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		v := a[i]
+		j := i - 1
+		for j >= lo && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func partitionInts(a []int64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if a[mid] < a[lo] {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi] < a[lo] {
+		a[hi], a[lo] = a[lo], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	a[mid], a[hi] = a[hi], a[mid]
+	pv := a[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if a[j] < pv {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi] = a[hi], a[i]
+	return i
+}
+
+// Native Go reference implementations — the "C program" column of Table 3.
+
+// NativeFib is the plain recursive fib.
+func NativeFib(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	return NativeFib(n-1) + NativeFib(n-2)
+}
+
+// NativeTak is the plain recursive Takeuchi function.
+func NativeTak(x, y, z int64) int64 {
+	if y >= x {
+		return z
+	}
+	return NativeTak(NativeTak(x-1, y, z), NativeTak(y-1, z, x), NativeTak(z-1, x, y))
+}
+
+// NativeNQueens counts n-queens solutions with the same bitmask algorithm.
+func NativeNQueens(n int) int64 {
+	var rec func(cols, d1, d2 uint64, row int) int64
+	full := uint64(1)<<uint(n) - 1
+	rec = func(cols, d1, d2 uint64, row int) int64 {
+		if row == n {
+			return 1
+		}
+		var sum int64
+		for avail := ^(cols | d1 | d2) & full; avail != 0; avail &= avail - 1 {
+			bit := avail & (-avail)
+			sum += rec(cols|bit, (d1|bit)<<1, (d2|bit)>>1, row+1)
+		}
+		return sum
+	}
+	return rec(0, 0, 0, 0)
+}
+
+// NativeQsort sorts a with the same median-of-three quicksort.
+func NativeQsort(a []int64) {
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo < 8 {
+			insertionSort(a, lo, hi)
+			return
+		}
+		p := partitionInts(a, lo, hi)
+		rec(lo, p-1)
+		rec(p+1, hi)
+	}
+	rec(0, len(a)-1)
+}

@@ -1,0 +1,123 @@
+package seqbench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFibCorrectAllConfigs(t *testing.T) {
+	want := NativeFib(14)
+	for _, col := range Columns() {
+		r := RunFib(col.Cfg, 14)
+		if r.Value != want {
+			t.Errorf("%s: fib(14) = %d, want %d", col.Name, r.Value, want)
+		}
+		if r.Seconds <= 0 {
+			t.Errorf("%s: non-positive time %v", col.Name, r.Seconds)
+		}
+	}
+}
+
+func TestTakCorrectAllConfigs(t *testing.T) {
+	want := NativeTak(10, 6, 3)
+	for _, col := range Columns() {
+		r := RunTak(col.Cfg, 10, 6, 3)
+		if r.Value != want {
+			t.Errorf("%s: tak(10,6,3) = %d, want %d", col.Name, r.Value, want)
+		}
+	}
+}
+
+func TestNQueensCorrectAllConfigs(t *testing.T) {
+	want := NativeNQueens(7) // 40 solutions
+	if want != 40 {
+		t.Fatalf("native nqueens(7) = %d, want 40", want)
+	}
+	for _, col := range Columns() {
+		r := RunNQueens(col.Cfg, 7)
+		if r.Value != want {
+			t.Errorf("%s: nqueens(7) = %d, want %d", col.Name, r.Value, want)
+		}
+	}
+}
+
+func TestQsortSortsAllConfigs(t *testing.T) {
+	for _, col := range Columns() {
+		r := RunQsort(col.Cfg, 2000, 42)
+		if r.Value != 1 {
+			t.Errorf("%s: qsort output not sorted", col.Name)
+		}
+	}
+}
+
+// TestTable3Shape verifies the paper's Table 3 orderings on a scaled-down
+// run: parallel-only is slowest; adding interfaces never hurts much and the
+// full hybrid is close to Seq-opt; hybrid-3 beats hybrid-1 (the up-to-30%
+// flexible-interface benefit).
+func TestTable3Shape(t *testing.T) {
+	times := map[string]float64{}
+	for _, col := range Columns() {
+		times[col.Name] = RunFib(col.Cfg, 18).Seconds
+	}
+	if times["parallel-only"] < 2*times["hybrid-3if"] {
+		t.Errorf("parallel-only (%v) should be >= 2x hybrid-3if (%v)",
+			times["parallel-only"], times["hybrid-3if"])
+	}
+	if times["hybrid-1if"] <= times["hybrid-3if"] {
+		t.Errorf("hybrid-1if (%v) should be slower than hybrid-3if (%v)",
+			times["hybrid-1if"], times["hybrid-3if"])
+	}
+	if times["seq-opt"] > times["hybrid-3if"] {
+		t.Errorf("seq-opt (%v) should be <= hybrid-3if (%v)",
+			times["seq-opt"], times["hybrid-3if"])
+	}
+	// Hybrid should be within a small factor of Seq-opt (the remaining
+	// overhead is just the parallelization checks).
+	if times["hybrid-3if"] > 1.6*times["seq-opt"] {
+		t.Errorf("hybrid-3if (%v) should be within 1.6x of seq-opt (%v)",
+			times["hybrid-3if"], times["seq-opt"])
+	}
+}
+
+// TestSchemas checks the analysis outcome for the suite: all four methods
+// synchronize on futures and are recursive, so they require MB; none
+// capture continuations, so none require CP.
+func TestSchemas(t *testing.T) {
+	m := Build()
+	if err := m.Prog.Resolve(core.Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	for _, meth := range []*core.Method{m.Fib, m.Tak, m.NQueens, m.Qsort} {
+		if meth.Required != core.SchemaMB {
+			t.Errorf("%s required schema = %v, want MB", meth.Name, meth.Required)
+		}
+	}
+	// Under Interfaces1, everything is emitted as CP.
+	m2 := Build()
+	if err := m2.Prog.Resolve(core.Interfaces1); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Fib.Emitted != core.SchemaCP {
+		t.Errorf("1-interface fib emitted %v, want CP", m2.Fib.Emitted)
+	}
+}
+
+func TestNativeReferences(t *testing.T) {
+	if got := NativeFib(20); got != 6765 {
+		t.Errorf("NativeFib(20) = %d, want 6765", got)
+	}
+	if got := NativeTak(18, 12, 6); got != 7 {
+		t.Errorf("NativeTak(18,12,6) = %d, want 7", got)
+	}
+	if got := NativeNQueens(8); got != 92 {
+		t.Errorf("NativeNQueens(8) = %d, want 92", got)
+	}
+	a := RandomArray(5000, 7)
+	NativeQsort(a)
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			t.Fatal("NativeQsort output not sorted")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package sor
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Cross-configuration invariants: quantities that must not depend on the
+// execution model, and quantities whose direction the model determines.
+
+func TestMessageCountIndependentOfModel(t *testing.T) {
+	pr := Params{G: 24, P: 2, B: 4, Iters: 2}
+	h := Run(machine.CM5(), core.DefaultHybrid(), pr)
+	p := Run(machine.CM5(), core.ParallelOnly(), pr)
+	// The communication structure is fixed by the layout; the execution
+	// model changes only where invocations execute.
+	if h.Messages != p.Messages {
+		t.Fatalf("hybrid sent %d messages, parallel-only %d; must be equal", h.Messages, p.Messages)
+	}
+	if h.Stats.RemoteInvokes != p.Stats.RemoteInvokes {
+		t.Fatalf("remote invokes differ: %d vs %d", h.Stats.RemoteInvokes, p.Stats.RemoteInvokes)
+	}
+}
+
+func TestInvocationCountIndependentOfMachine(t *testing.T) {
+	pr := Params{G: 24, P: 2, B: 4, Iters: 2}
+	cm5 := Run(machine.CM5(), core.DefaultHybrid(), pr)
+	t3d := Run(machine.T3D(), core.DefaultHybrid(), pr)
+	if cm5.Stats.Invokes != t3d.Stats.Invokes {
+		t.Fatalf("invocation counts differ across machines: %d vs %d",
+			cm5.Stats.Invokes, t3d.Stats.Invokes)
+	}
+	if cm5.Checksum != t3d.Checksum {
+		t.Fatal("checksums differ across machines")
+	}
+}
+
+func TestHybridStackCallsAccountForLocalInvokes(t *testing.T) {
+	pr := Params{G: 16, P: 2, B: 4, Iters: 1}
+	h := Run(machine.CM5(), core.DefaultHybrid(), pr)
+	// Under the hybrid model every local invocation is attempted on the
+	// stack (none are parked on locks in SOR).
+	if h.Stats.StackCalls != h.Stats.LocalInvokes {
+		t.Fatalf("stack calls %d != local invokes %d", h.Stats.StackCalls, h.Stats.LocalInvokes)
+	}
+	// Parallel-only never speculates.
+	p := Run(machine.CM5(), core.ParallelOnly(), pr)
+	if p.Stats.StackCalls != 0 || p.Stats.Fallbacks != 0 {
+		t.Fatalf("parallel-only speculated: %+v", p.Stats)
+	}
+}
+
+func TestSeqOptSingleNode(t *testing.T) {
+	// Seq-opt elides checks; on one node SOR still computes correctly.
+	pr := Params{G: 16, P: 1, B: 16, Iters: 2}
+	cfg := core.DefaultHybrid()
+	cfg.SeqOpt = true
+	r := Run(machine.SPARCStation(), cfg, pr)
+	if want := Native(pr.G, pr.Iters); r.Checksum != want {
+		t.Fatalf("seq-opt checksum %v, want %v", r.Checksum, want)
+	}
+	full := Run(machine.SPARCStation(), core.DefaultHybrid(), pr)
+	if r.Seconds >= full.Seconds {
+		t.Fatalf("seq-opt (%v) not faster than checked hybrid (%v)", r.Seconds, full.Seconds)
+	}
+}
+
+func TestSingleNodeSendsNoMessages(t *testing.T) {
+	pr := Params{G: 16, P: 1, B: 16, Iters: 1}
+	r := Run(machine.CM5(), core.DefaultHybrid(), pr)
+	if r.Messages != 0 {
+		t.Fatalf("single node sent %d messages", r.Messages)
+	}
+	if r.LocalFraction != 1 {
+		t.Fatalf("single-node local fraction %v, want 1", r.LocalFraction)
+	}
+}

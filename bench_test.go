@@ -1,0 +1,350 @@
+// Benchmarks mirroring the paper's evaluation tables. Each benchmark runs
+// the corresponding experiment and reports, alongside the host wall-clock
+// time, the *simulated* execution time in virtual seconds as "simsec/op" —
+// the quantity the paper's tables tabulate. `go run ./cmd/tables` prints
+// the same experiments as formatted tables with paper-versus-measured
+// notes.
+package concert_test
+
+import (
+	"testing"
+
+	concert "repro"
+	"repro/apps/barneshut"
+	"repro/apps/em3d"
+	"repro/apps/mdforce"
+	"repro/apps/overheads"
+	"repro/apps/seqbench"
+	"repro/apps/sor"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/structures"
+)
+
+// --- Table 2: base invocation overheads ---
+
+func BenchmarkTable2Overheads(b *testing.B) {
+	for _, mdl := range []*machine.Model{machine.SPARCStation(), machine.CM5(), machine.T3D()} {
+		b.Run(mdl.Name, func(b *testing.B) {
+			var heap int64
+			for i := 0; i < b.N; i++ {
+				_, h, _ := overheads.Measure(mdl)
+				heap = int64(h)
+			}
+			b.ReportMetric(float64(heap), "heap-invoke-instr")
+		})
+	}
+}
+
+// --- Table 3: sequential performance ---
+
+func benchSeq(b *testing.B, run func(core.Config) seqbench.Result) {
+	for _, col := range seqbench.Columns() {
+		b.Run(col.Name, func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				sim = run(col.Cfg).Seconds
+			}
+			b.ReportMetric(sim, "simsec/op")
+		})
+	}
+}
+
+func BenchmarkTable3Fib(b *testing.B) {
+	benchSeq(b, func(c core.Config) seqbench.Result { return seqbench.RunFib(c, 18) })
+	b.Run("native-go", func(b *testing.B) {
+		var v int64
+		for i := 0; i < b.N; i++ {
+			v = seqbench.NativeFib(18)
+		}
+		_ = v
+	})
+}
+
+func BenchmarkTable3Tak(b *testing.B) {
+	benchSeq(b, func(c core.Config) seqbench.Result { return seqbench.RunTak(c, 14, 10, 5) })
+	b.Run("native-go", func(b *testing.B) {
+		var v int64
+		for i := 0; i < b.N; i++ {
+			v = seqbench.NativeTak(14, 10, 5)
+		}
+		_ = v
+	})
+}
+
+func BenchmarkTable3NQueens(b *testing.B) {
+	benchSeq(b, func(c core.Config) seqbench.Result { return seqbench.RunNQueens(c, 8) })
+	b.Run("native-go", func(b *testing.B) {
+		var v int64
+		for i := 0; i < b.N; i++ {
+			v = seqbench.NativeNQueens(8)
+		}
+		_ = v
+	})
+}
+
+func BenchmarkTable3Qsort(b *testing.B) {
+	benchSeq(b, func(c core.Config) seqbench.Result { return seqbench.RunQsort(c, 10000, 42) })
+	b.Run("native-go", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := seqbench.RandomArray(10000, 42)
+			seqbench.NativeQsort(a)
+		}
+	})
+}
+
+// --- Table 4: SOR locality sweep ---
+
+func BenchmarkTable4SOR(b *testing.B) {
+	for _, mdl := range []*machine.Model{machine.CM5(), machine.T3D()} {
+		for _, blockSize := range []int{1, 4, 8} {
+			for _, cfg := range []struct {
+				name string
+				c    core.Config
+			}{{"hybrid", core.DefaultHybrid()}, {"parallel", core.ParallelOnly()}} {
+				b.Run(mdl.Name+"/B"+itoa(blockSize)+"/"+cfg.name, func(b *testing.B) {
+					pr := sor.Params{G: 64, P: 8, B: blockSize, Iters: 3}
+					var sim float64
+					for i := 0; i < b.N; i++ {
+						sim = sor.Run(mdl, cfg.c, pr).Seconds
+					}
+					b.ReportMetric(sim, "simsec/op")
+				})
+			}
+		}
+	}
+}
+
+// --- Table 5: MD-Force layout comparison ---
+
+func BenchmarkTable5MDForce(b *testing.B) {
+	pr := mdforce.DefaultParams()
+	pr.Atoms, pr.Clusters, pr.Box, pr.Nodes = 2000, 32, 48, 16
+	for _, spatial := range []bool{false, true} {
+		p := pr
+		p.Spatial = spatial
+		inst := mdforce.Generate(p)
+		name := "random"
+		if spatial {
+			name = "spatial"
+		}
+		for _, cfg := range []struct {
+			name string
+			c    core.Config
+		}{{"hybrid", core.DefaultHybrid()}, {"parallel", core.ParallelOnly()}} {
+			b.Run(name+"/"+cfg.name, func(b *testing.B) {
+				var sim float64
+				for i := 0; i < b.N; i++ {
+					sim = mdforce.Run(machine.CM5(), cfg.c, inst).Seconds
+				}
+				b.ReportMetric(sim, "simsec/op")
+			})
+		}
+	}
+}
+
+// --- Table 6: EM3D variants ---
+
+func BenchmarkTable6EM3D(b *testing.B) {
+	for _, v := range []em3d.Variant{em3d.Pull, em3d.Push, em3d.Forward} {
+		for _, random := range []bool{true, false} {
+			pr := em3d.Params{N: 512, Degree: 8, Iters: 3, Nodes: 16,
+				PLocal: 0.99, RandomPlacement: random, Seed: 1995}
+			g := em3d.Generate(pr)
+			loc := "high"
+			if random {
+				loc = "low"
+			}
+			for _, cfg := range []struct {
+				name string
+				c    core.Config
+			}{{"hybrid", core.DefaultHybrid()}, {"parallel", core.ParallelOnly()}} {
+				b.Run(v.String()+"/"+loc+"/"+cfg.name, func(b *testing.B) {
+					var sim float64
+					for i := 0; i < b.N; i++ {
+						sim = em3d.Run(machine.CM5(), cfg.c, v, g).Seconds
+					}
+					b.ReportMetric(sim, "simsec/op")
+				})
+			}
+		}
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationWrappers isolates Section 3.3's wrapper functions:
+// executing arrived messages on the stack versus allocating a context per
+// message. Low-locality EM3D is wrapper-bound.
+func BenchmarkAblationWrappers(b *testing.B) {
+	pr := em3d.Params{N: 512, Degree: 8, Iters: 3, Nodes: 16,
+		PLocal: 0, RandomPlacement: true, Seed: 1995}
+	g := em3d.Generate(pr)
+	for _, wrappers := range []bool{true, false} {
+		cfg := core.DefaultHybrid()
+		cfg.Wrappers = wrappers
+		name := "wrappers-on"
+		if !wrappers {
+			name = "wrappers-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				sim = em3d.Run(machine.CM5(), cfg, em3d.Pull, g).Seconds
+			}
+			b.ReportMetric(sim, "simsec/op")
+		})
+	}
+}
+
+// BenchmarkAblationSpeculationDepth bounds the speculative inlining depth;
+// depth 0 degenerates toward parallel-only for local calls.
+func BenchmarkAblationSpeculationDepth(b *testing.B) {
+	for _, depth := range []int{1, 4, 1024} {
+		cfg := core.DefaultHybrid()
+		cfg.MaxStackDepth = depth
+		b.Run("depth-"+itoa(depth), func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				sim = seqbench.RunFib(cfg, 18).Seconds
+			}
+			b.ReportMetric(sim, "simsec/op")
+		})
+	}
+}
+
+// BenchmarkAblationInterfaces repeats Table 3's interface restriction on
+// one program, as a standalone ablation.
+func BenchmarkAblationInterfaces(b *testing.B) {
+	for _, ifc := range []struct {
+		name string
+		set  core.SchemaSet
+	}{{"1if", core.Interfaces1}, {"2if", core.Interfaces2}, {"3if", core.Interfaces3}} {
+		cfg := core.DefaultHybrid()
+		cfg.Interfaces = ifc.set
+		b.Run(ifc.name, func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				sim = seqbench.RunFib(cfg, 18).Seconds
+			}
+			b.ReportMetric(sim, "simsec/op")
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Extensions ---
+
+// BenchmarkExtensionBarnesHut runs the N-body extension kernel.
+func BenchmarkExtensionBarnesHut(b *testing.B) {
+	inst := barneshut.Generate(barneshut.Params{
+		Bodies: 300, Clusters: 16, Box: 64, Nodes: 8,
+		RepDepth: 3, Spatial: true, Seed: 21,
+	})
+	for _, cfg := range []struct {
+		name string
+		c    core.Config
+	}{{"hybrid", core.DefaultHybrid()}, {"parallel", core.ParallelOnly()}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				sim = barneshut.Run(machine.CM5(), cfg.c, inst).Seconds
+			}
+			b.ReportMetric(sim, "simsec/op")
+		})
+	}
+}
+
+// BenchmarkStructuresReducer exercises the continuation-capturing reducer
+// with contributors spread over the machine.
+func BenchmarkStructuresReducer(b *testing.B) {
+	prog := core.NewProgram()
+	kit := structures.Build(prog)
+	client := &core.Method{Name: "bench.client", NArgs: 2, NFutures: 1,
+		MayBlockLocal: true, Calls: []*core.Method{kit.ReducerAdd}}
+	client.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, kit.ReducerAdd, fr.Arg(0).Ref(), 0, fr.Arg(1))
+			fr.PC = 1
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, core.Mask(0)) {
+				return core.Unwound
+			}
+			rt.Reply(fr, fr.Fut(0))
+			return core.Done
+		}
+		panic("bad pc")
+	}
+	prog.Add(client)
+	if err := prog.Resolve(core.Interfaces3); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := concert.NewSystem(concert.CM5(), 4, prog, concert.DefaultHybrid())
+		const parts = 16
+		red := sys.NewObject(0, structures.NewReducer(parts))
+		var results []*concert.Result
+		for c := 0; c < parts; c++ {
+			obj := sys.NewObject(c%4, nil)
+			results = append(results, sys.Start(c%4, client, obj,
+				concert.RefW(red), concert.IntW(int64(c))))
+		}
+		sys.MustRun()
+		want := int64(parts * (parts - 1) / 2)
+		for _, r := range results {
+			if r.Val.Int() != want {
+				b.Fatal("wrong reduction")
+			}
+		}
+	}
+}
+
+// BenchmarkCompileAndRunMiniLang covers the full source-to-execution path.
+func BenchmarkCompileAndRunMiniLang(b *testing.B) {
+	const src = `
+method fib(n) {
+    if n < 2 { return n; }
+    a = spawn fib(n - 1) on self;
+    b = spawn fib(n - 2) on self;
+    touch a, b;
+    return a + b;
+}
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := concert.CompileSource(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Prog.Resolve(concert.Interfaces3); err != nil {
+			b.Fatal(err)
+		}
+		sys := concert.NewSystem(concert.SPARCStation(), 1, c.Prog, concert.DefaultHybrid())
+		obj := sys.NewObject(0, nil)
+		res := sys.Start(0, c.Methods["fib"], obj, concert.IntW(14))
+		sys.MustRun()
+		if res.Val.Int() != 377 {
+			b.Fatal("wrong fib")
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Command concert runs one of the paper's application kernels on a
+// simulated multicomputer with full control over the machine model, the
+// execution-model configuration, and the data layout, and prints timing,
+// locality and execution-model statistics for the run.
+//
+// Usage:
+//
+//	concert -app sor     [-machine cm5|t3d|sparc] [-mode hybrid|parallel]
+//	                     [-nodes N] [-size G] [-block B] [-iters I]
+//	concert -app mdforce [-machine ...] [-mode ...] [-nodes N] [-size atoms]
+//	                     [-layout random|spatial]
+//	concert -app em3d    [-machine ...] [-mode ...] [-nodes N] [-size graphnodes]
+//	                     [-variant pull|push|forward] [-layout random|blocked]
+//	                     [-degree D] [-iters I]
+//
+// Add -verify to cross-check the simulated result against the native Go
+// reference implementation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/apps/em3d"
+	"repro/apps/mdforce"
+	"repro/apps/sor"
+	"repro/internal/core"
+	"repro/internal/instr"
+	"repro/internal/machine"
+)
+
+func main() {
+	app := flag.String("app", "sor", "kernel: sor, mdforce, em3d")
+	machineName := flag.String("machine", "cm5", "machine model: cm5, t3d, sparc")
+	mode := flag.String("mode", "hybrid", "execution model: hybrid, parallel")
+	interfaces := flag.Int("interfaces", 3, "sequential interfaces for hybrid mode: 1, 2 or 3")
+	nodes := flag.Int("nodes", 64, "number of simulated processors")
+	size := flag.Int("size", 0, "problem size (grid side / atoms / graph nodes); 0 = default")
+	block := flag.Int("block", 8, "sor: block-cyclic block size")
+	iters := flag.Int("iters", 10, "sor/em3d: iterations")
+	layoutName := flag.String("layout", "spatial", "mdforce: random|spatial; em3d: random|blocked")
+	variant := flag.String("variant", "pull", "em3d: pull, push, forward")
+	degree := flag.Int("degree", 16, "em3d: in-degree")
+	seed := flag.Int64("seed", 1995, "workload seed")
+	verify := flag.Bool("verify", false, "check the result against the native reference")
+	flag.Parse()
+
+	mdl := machine.ByName(*machineName)
+	if mdl == nil {
+		fatalf("unknown machine %q", *machineName)
+	}
+	cfg := core.DefaultHybrid()
+	switch *mode {
+	case "hybrid":
+		switch *interfaces {
+		case 1:
+			cfg.Interfaces = core.Interfaces1
+		case 2:
+			cfg.Interfaces = core.Interfaces2
+		case 3:
+			cfg.Interfaces = core.Interfaces3
+		default:
+			fatalf("interfaces must be 1, 2 or 3")
+		}
+	case "parallel":
+		cfg = core.ParallelOnly()
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+
+	switch *app {
+	case "sor":
+		g := orDefault(*size, 128)
+		p := intSqrt(*nodes)
+		if p*p != *nodes {
+			fatalf("sor needs a square node count, got %d", *nodes)
+		}
+		pr := sor.Params{G: g, P: p, B: *block, Iters: *iters}
+		r := sor.Run(mdl, cfg, pr)
+		report(mdl, r.Seconds, r.LocalFraction, r.Messages, r.Stats, r.Counters)
+		if *verify {
+			want := sor.Native(pr.G, pr.Iters)
+			verdict(r.Checksum == want, fmt.Sprintf("checksum %v vs native %v", r.Checksum, want))
+		}
+	case "mdforce":
+		pr := mdforce.DefaultParams()
+		pr.Nodes = *nodes
+		pr.Seed = *seed
+		pr.Spatial = *layoutName == "spatial"
+		if *size > 0 {
+			pr.Atoms = *size
+		}
+		inst := mdforce.Generate(pr)
+		r := mdforce.Run(mdl, cfg, inst)
+		fmt.Printf("pairs: %d\n", r.PairCount)
+		report(mdl, r.Seconds, r.LocalFraction, r.Messages, r.Stats, r.Counters)
+		if *verify {
+			err := mdforce.MaxRelError(r.Forces, mdforce.Native(inst))
+			verdict(err < 1e-9, fmt.Sprintf("max relative force error %.2e", err))
+		}
+	case "em3d":
+		pr := em3d.Params{
+			N:               orDefault(*size, 2048),
+			Degree:          *degree,
+			Iters:           *iters,
+			Nodes:           *nodes,
+			PLocal:          0.99,
+			RandomPlacement: *layoutName == "random",
+			Seed:            *seed,
+		}
+		var v em3d.Variant
+		switch *variant {
+		case "pull":
+			v = em3d.Pull
+		case "push":
+			v = em3d.Push
+		case "forward":
+			v = em3d.Forward
+		default:
+			fatalf("unknown em3d variant %q", *variant)
+		}
+		g := em3d.Generate(pr)
+		r := em3d.Run(mdl, cfg, v, g)
+		report(mdl, r.Seconds, r.LocalFraction, r.Messages, r.Stats, r.Counters)
+		if *verify {
+			want := em3d.Native(g)
+			verdict(r.Checksum == want, fmt.Sprintf("checksum %v vs native %v", r.Checksum, want))
+		}
+	default:
+		fatalf("unknown app %q", *app)
+	}
+}
+
+func report(mdl *machine.Model, seconds, localFrac float64, msgs int64, st core.NodeStats, c instr.Counters) {
+	fmt.Printf("machine: %s   time: %.6f s   local fraction: %.3f   messages: %d\n",
+		mdl.Name, seconds, localFrac, msgs)
+	fmt.Printf("invocations: %d (local %d, remote %d)\n", st.Invokes, st.LocalInvokes, st.RemoteInvokes)
+	fmt.Printf("stack calls: %d   heap contexts: %d   fallbacks: %d   suspends: %d   wrapper runs: %d\n",
+		st.StackCalls, st.HeapInvokes, st.Fallbacks, st.Suspends, st.WrapperRuns)
+	if c.Busy() > 0 {
+		fmt.Printf("instruction breakdown:")
+		for op := instr.Op(0); op < instr.NumOps; op++ {
+			if c[op] != 0 {
+				fmt.Printf(" %s=%d", op, c[op])
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func verdict(ok bool, detail string) {
+	if ok {
+		fmt.Printf("verify: OK (%s)\n", detail)
+		return
+	}
+	fmt.Printf("verify: FAILED (%s)\n", detail)
+	os.Exit(1)
+}
+
+func orDefault(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func intSqrt(n int) int {
+	r := int(math.Sqrt(float64(n)))
+	for r*r < n {
+		r++
+	}
+	for r*r > n {
+		r--
+	}
+	return r
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,119 @@
+// Command figure9 regenerates the paper's Figure 9: "heap contexts are
+// only created on the perimeter of the block, all internal chunks execute
+// on the stack". It runs SOR under the hybrid model with a trace attached,
+// maps every fallback (lazy heap-context creation) back to its grid point,
+// and draws the grid — '#' marks points whose compute method fell back to
+// a heap context during the first iteration, '.' marks points that ran
+// entirely on the stack. With a block-cyclic layout the '#' points form
+// exactly the block perimeters.
+//
+// Usage:
+//
+//	figure9 [-grid 32] [-procs 2] [-block 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+
+	"repro/apps/sor"
+)
+
+func main() {
+	grid := flag.Int("grid", 32, "grid side")
+	procs := flag.Int("procs", 2, "processor grid side (procs^2 nodes)")
+	block := flag.Int("block", 8, "block-cyclic block size")
+	flag.Parse()
+
+	m := sor.Build()
+	if err := m.Prog.Resolve(core.Interfaces3); err != nil {
+		panic(err)
+	}
+	buf := trace.NewBuffer(1 << 20)
+	cfg := core.DefaultHybrid()
+	cfg.Tracer = buf
+
+	// Re-create the SOR setup by hand so we keep the ref->(i,j) mapping.
+	nodes := *procs * *procs
+	eng := sim.NewEngine(nodes)
+	rt := core.NewRT(eng, machine.CM5(), m.Prog, cfg)
+	dist := layout.BlockCyclic{G: *grid, P: *procs, B: *block}
+
+	pos := map[core.Word][2]int{}
+	refs := make([][]core.Ref, *grid)
+	elems := make([][]*sor.Elem, *grid)
+	chunks := make([]*sor.Chunk, nodes)
+	for n := range chunks {
+		chunks[n] = &sor.Chunk{}
+	}
+	for i := 0; i < *grid; i++ {
+		refs[i] = make([]core.Ref, *grid)
+		elems[i] = make([]*sor.Elem, *grid)
+		for j := 0; j < *grid; j++ {
+			node := dist.Node(i, j)
+			e := &sor.Elem{V: 0.5}
+			elems[i][j] = e
+			refs[i][j] = rt.Node(node).NewObject(e)
+			pos[core.RefW(refs[i][j])] = [2]int{i, j}
+			chunks[node].Elems = append(chunks[node].Elems, refs[i][j])
+		}
+	}
+	at := func(i, j int) core.Ref {
+		if i < 0 || i >= *grid || j < 0 || j >= *grid {
+			return core.NilRef
+		}
+		return refs[i][j]
+	}
+	for i := 0; i < *grid; i++ {
+		for j := 0; j < *grid; j++ {
+			e := elems[i][j]
+			e.Nbr[0], e.Nbr[1], e.Nbr[2], e.Nbr[3] = at(i-1, j), at(i+1, j), at(i, j-1), at(i, j+1)
+		}
+	}
+	coord := &sor.Coord{}
+	for n := 0; n < nodes; n++ {
+		coord.Chunks = append(coord.Chunks, rt.Node(n).NewObject(chunks[n]))
+	}
+	coordRef := rt.Node(0).NewObject(coord)
+	var res core.Result
+	rt.StartOn(0, m.Main, coordRef, &res, core.IntW(1))
+	rt.Run()
+	if !res.Done {
+		panic("sor did not complete")
+	}
+
+	fell := map[[2]int]bool{}
+	for _, ev := range buf.Events() {
+		if ev.Kind == trace.KFallback && ev.Method == "sor.compute" {
+			if p, ok := pos[core.Word(ev.Aux)]; ok {
+				fell[p] = true
+			}
+		}
+	}
+	fmt.Printf("Figure 9 — SOR %dx%d grid, %dx%d processors, block size %d (hybrid, CM-5)\n",
+		*grid, *grid, *procs, *procs, *block)
+	fmt.Println("'#' = compute fell back to a heap context; '.' = ran entirely on the stack")
+	fmt.Println()
+	for i := 0; i < *grid; i++ {
+		for j := 0; j < *grid; j++ {
+			if fell[[2]int{i, j}] {
+				fmt.Print("#")
+			} else {
+				fmt.Print(".")
+			}
+		}
+		fmt.Println()
+	}
+	total := 0
+	for range fell {
+		total++
+	}
+	fmt.Printf("\n%d of %d grid points created heap contexts (%.1f%%)\n",
+		total, *grid**grid, 100*float64(total)/float64(*grid**grid))
+}

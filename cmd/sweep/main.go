@@ -1,0 +1,131 @@
+// Command sweep emits CSV data for locality sweeps of the paper's kernels —
+// the raw series behind Tables 4-6, suitable for plotting. Each row is one
+// (kernel, machine, parameter, configuration) cell with simulated seconds,
+// locality, and execution-model statistics.
+//
+// Usage:
+//
+//	sweep [-app sor|em3d|mdforce] [-scale small|medium] > data.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/apps/em3d"
+	"repro/apps/mdforce"
+	"repro/apps/sor"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func main() {
+	app := flag.String("app", "sor", "kernel to sweep: sor, em3d, mdforce")
+	scale := flag.String("scale", "small", "problem scale: small, medium")
+	seed := flag.Int64("seed", 1995, "workload seed")
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	head := []string{"app", "machine", "param", "config", "seconds",
+		"local_frac", "messages", "stack_calls", "heap_ctxs", "fallbacks"}
+	if err := w.Write(head); err != nil {
+		fatal(err)
+	}
+
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"hybrid", core.DefaultHybrid()},
+		{"parallel", core.ParallelOnly()},
+	}
+	models := []*machine.Model{machine.CM5(), machine.T3D()}
+
+	emit := func(app, mach, param, config string, sec, loc float64,
+		msgs int64, st core.NodeStats) {
+		row := []string{app, mach, param, config,
+			strconv.FormatFloat(sec, 'g', 8, 64),
+			strconv.FormatFloat(loc, 'g', 5, 64),
+			strconv.FormatInt(msgs, 10),
+			strconv.FormatInt(st.StackCalls, 10),
+			strconv.FormatInt(st.HeapInvokes, 10),
+			strconv.FormatInt(st.Fallbacks, 10),
+		}
+		if err := w.Write(row); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch *app {
+	case "sor":
+		pr := sor.Params{G: 64, P: 8, Iters: 4}
+		blocks := []int{1, 2, 4, 8}
+		if *scale == "medium" {
+			pr = sor.Params{G: 128, P: 8, Iters: 10}
+			blocks = []int{1, 2, 4, 8, 16}
+		}
+		for _, mdl := range models {
+			for _, b := range blocks {
+				p := pr
+				p.B = b
+				for _, c := range configs {
+					r := sor.Run(mdl, c.cfg, p)
+					emit("sor", mdl.Name, fmt.Sprintf("B=%d", b), c.name,
+						r.Seconds, r.LocalFraction, r.Messages, r.Stats)
+				}
+			}
+		}
+	case "em3d":
+		base := em3d.Params{N: 512, Degree: 8, Iters: 3, Nodes: 16, Seed: *seed}
+		if *scale == "medium" {
+			base = em3d.Params{N: 2048, Degree: 16, Iters: 10, Nodes: 64, Seed: *seed}
+		}
+		for _, mdl := range models {
+			for _, v := range []em3d.Variant{em3d.Pull, em3d.Push, em3d.Forward} {
+				for _, pl := range []float64{0, 0.5, 0.9, 0.99} {
+					p := base
+					p.PLocal = pl
+					g := em3d.Generate(p)
+					for _, c := range configs {
+						r := em3d.Run(mdl, c.cfg, v, g)
+						emit("em3d", mdl.Name,
+							fmt.Sprintf("%s/plocal=%.2f", v, pl), c.name,
+							r.Seconds, r.LocalFraction, r.Messages, r.Stats)
+					}
+				}
+			}
+		}
+	case "mdforce":
+		base := mdforce.DefaultParams()
+		base.Seed = *seed
+		base.Atoms, base.Clusters, base.Box, base.Nodes = 1500, 32, 48, 16
+		if *scale == "medium" {
+			base.Atoms, base.Clusters, base.Box, base.Nodes = 6000, 128, 96, 64
+		}
+		for _, mdl := range models {
+			for _, scatter := range []float64{0, 0.1, 0.25, 0.5} {
+				p := base
+				p.Scatter = scatter
+				p.Spatial = true
+				inst := mdforce.Generate(p)
+				for _, c := range configs {
+					r := mdforce.Run(mdl, c.cfg, inst)
+					emit("mdforce", mdl.Name,
+						fmt.Sprintf("scatter=%.2f", scatter), c.name,
+						r.Seconds, r.LocalFraction, r.Messages, r.Stats)
+				}
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,212 @@
+package concert_test
+
+import (
+	"strings"
+	"testing"
+
+	concert "repro"
+)
+
+// The facade tests exercise the library exactly as a downstream user would:
+// through the root package only.
+
+func buildAPIFib(t *testing.T) (*concert.Program, *concert.Method) {
+	t.Helper()
+	prog := concert.NewProgram()
+	fib := &concert.Method{Name: "fib", NArgs: 1, NFutures: 2, MayBlockLocal: true}
+	fib.Body = func(rt *concert.RT, fr *concert.Frame) concert.Status {
+		switch fr.PC {
+		case 0:
+			n := fr.Arg(0).Int()
+			if n < 2 {
+				rt.Reply(fr, concert.IntW(n))
+				return concert.Done
+			}
+			st := rt.Invoke(fr, fib, fr.Self, 0, concert.IntW(n-1))
+			fr.PC = 1
+			if st == concert.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			st := rt.Invoke(fr, fib, fr.Self, 1, concert.IntW(fr.Arg(0).Int()-2))
+			fr.PC = 2
+			if st == concert.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 2:
+			if !rt.TouchAll(fr, concert.Mask(0, 1)) {
+				return concert.Unwound
+			}
+			rt.Reply(fr, concert.IntW(fr.Fut(0).Int()+fr.Fut(1).Int()))
+			return concert.Done
+		}
+		panic("bad pc")
+	}
+	fib.Calls = []*concert.Method{fib}
+	prog.Add(fib)
+	return prog, fib
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	prog, fib := buildAPIFib(t)
+	if err := prog.Resolve(concert.Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	sys := concert.NewSystem(concert.CM5(), 4, prog, concert.DefaultHybrid())
+	if sys.Nodes() != 4 {
+		t.Fatalf("nodes = %d", sys.Nodes())
+	}
+	obj := sys.NewObject(2, nil)
+	res := sys.Start(2, fib, obj, concert.IntW(15))
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Val.Int() != 610 {
+		t.Fatalf("fib(15) = %d, want 610", res.Val.Int())
+	}
+	if sys.Seconds() <= 0 || sys.Time() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	if sys.Stats().StackCalls == 0 {
+		t.Fatal("no stack calls under the hybrid model")
+	}
+	tc := sys.Counters()
+	if tc.Busy() == 0 {
+		t.Fatal("no instructions charged")
+	}
+}
+
+func TestSystemDetectsIncompleteRun(t *testing.T) {
+	prog := concert.NewProgram()
+	stuck := &concert.Method{Name: "stuck", NFutures: 1, MayBlockLocal: true}
+	stuck.Body = func(rt *concert.RT, fr *concert.Frame) concert.Status {
+		if !rt.TouchAll(fr, concert.Mask(0)) {
+			return concert.Unwound
+		}
+		rt.Reply(fr, 0)
+		return concert.Done
+	}
+	prog.Add(stuck)
+	if err := prog.Resolve(concert.Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	sys := concert.NewSystem(concert.SPARCStation(), 1, prog, concert.DefaultHybrid())
+	obj := sys.NewObject(0, nil)
+	sys.Start(0, stuck, obj)
+	err := sys.Run()
+	if err == nil {
+		t.Fatal("Run accepted a deadlocked program")
+	}
+	if !strings.Contains(err.Error(), "did not complete") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCompileSourceThroughFacade(t *testing.T) {
+	c, err := concert.CompileSource(`
+method double(x) { return x * 2; }
+method main(n) {
+    a = spawn double(n) on self;
+    touch a;
+    return a + 1;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prog.Resolve(concert.Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	sys := concert.NewSystem(concert.T3D(), 2, c.Prog, concert.DefaultHybrid())
+	obj := sys.NewObject(0, nil)
+	res := sys.Start(0, c.Methods["main"], obj, concert.IntW(20))
+	sys.MustRun()
+	if res.Val.Int() != 41 {
+		t.Fatalf("main(20) = %d, want 41", res.Val.Int())
+	}
+	if c.Methods["double"].Required != concert.SchemaNB {
+		t.Fatalf("double schema = %v, want NB", c.Methods["double"].Required)
+	}
+}
+
+func TestCompileSourceErrors(t *testing.T) {
+	_, err := concert.CompileSource(`method f() { return nope; }`)
+	if err == nil || !strings.Contains(err.Error(), "undefined name") {
+		t.Fatalf("expected undefined-name error, got %v", err)
+	}
+}
+
+func TestTraceThroughFacade(t *testing.T) {
+	prog, fib := buildAPIFib(t)
+	if err := prog.Resolve(concert.Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	buf := concert.NewTrace(1 << 12)
+	cfg := concert.DefaultHybrid()
+	cfg.Tracer = buf
+	sys := concert.NewSystem(concert.CM5(), 1, prog, cfg)
+	obj := sys.NewObject(0, nil)
+	sys.Start(0, fib, obj, concert.IntW(10))
+	sys.MustRun()
+	if buf.Len() == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	var sb strings.Builder
+	buf.Summary(&sb)
+	if !strings.Contains(sb.String(), "stackcall") {
+		t.Fatalf("trace summary missing stack calls:\n%s", sb.String())
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	if concert.ModelByName("cm5") == nil || concert.ModelByName("t3d") == nil {
+		t.Fatal("known machines not resolved")
+	}
+	if concert.ModelByName("pdp11") != nil {
+		t.Fatal("unknown machine resolved")
+	}
+}
+
+func TestWordHelpers(t *testing.T) {
+	if concert.IntW(-7).Int() != -7 {
+		t.Fatal("IntW roundtrip")
+	}
+	if concert.FloatW(3.5).Float() != 3.5 {
+		t.Fatal("FloatW roundtrip")
+	}
+	if !concert.BoolW(true).Bool() || concert.BoolW(false).Bool() {
+		t.Fatal("BoolW roundtrip")
+	}
+	r := concert.Ref{Node: 3, Index: 9}
+	if concert.RefW(r).Ref() != r {
+		t.Fatal("RefW roundtrip")
+	}
+	if !concert.NilRef.IsNil() {
+		t.Fatal("NilRef not nil")
+	}
+	if concert.Mask(0, 3) != 0b1001 {
+		t.Fatal("Mask wrong")
+	}
+	if concert.MaskRange(1, 4) != 0b1110 {
+		t.Fatal("MaskRange wrong")
+	}
+}
+
+func TestParallelOnlyMatchesHybridResults(t *testing.T) {
+	run := func(cfg concert.Config) int64 {
+		prog, fib := buildAPIFib(t)
+		if err := prog.Resolve(cfg.Interfaces); err != nil {
+			t.Fatal(err)
+		}
+		sys := concert.NewSystem(concert.CM5(), 2, prog, cfg)
+		obj := sys.NewObject(1, nil)
+		res := sys.Start(1, fib, obj, concert.IntW(13))
+		sys.MustRun()
+		return res.Val.Int()
+	}
+	if h, p := run(concert.DefaultHybrid()), run(concert.ParallelOnly()); h != p {
+		t.Fatalf("hybrid %d != parallel-only %d", h, p)
+	}
+}

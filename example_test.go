@@ -1,0 +1,64 @@
+package concert_test
+
+import (
+	"fmt"
+
+	concert "repro"
+)
+
+// ExampleCompileSource compiles a mini-language program and runs it under
+// the hybrid execution model on a simulated CM-5.
+func ExampleCompileSource() {
+	c, err := concert.CompileSource(`
+method square(x) { return x * x; }
+
+method sumSquares(n) {
+    total = 0;
+    i = 1;
+    while i <= n {
+        s = spawn square(i) on self;
+        touch s;
+        total = total + s;
+        i = i + 1;
+    }
+    return total;
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	if err := c.Prog.Resolve(concert.Interfaces3); err != nil {
+		panic(err)
+	}
+	sys := concert.NewSystem(concert.CM5(), 1, c.Prog, concert.DefaultHybrid())
+	obj := sys.NewObject(0, nil)
+	res := sys.Start(0, c.Methods["sumSquares"], obj, concert.IntW(10))
+	sys.MustRun()
+	fmt.Println("sum of squares 1..10 =", res.Val.Int())
+	fmt.Println("square's schema:", c.Methods["square"].Emitted)
+	// Output:
+	// sum of squares 1..10 = 385
+	// square's schema: NB
+}
+
+// ExampleNewSystem runs a hand-written method and inspects the
+// execution-model statistics.
+func ExampleNewSystem() {
+	prog := concert.NewProgram()
+	double := &concert.Method{Name: "double", NArgs: 1}
+	double.Body = func(rt *concert.RT, fr *concert.Frame) concert.Status {
+		rt.Reply(fr, concert.IntW(2*fr.Arg(0).Int()))
+		return concert.Done
+	}
+	prog.Add(double)
+	if err := prog.Resolve(concert.Interfaces3); err != nil {
+		panic(err)
+	}
+	sys := concert.NewSystem(concert.SPARCStation(), 1, prog, concert.DefaultHybrid())
+	obj := sys.NewObject(0, nil)
+	res := sys.Start(0, double, obj, concert.IntW(21))
+	sys.MustRun()
+	fmt.Println(res.Val.Int())
+	// Output:
+	// 42
+}

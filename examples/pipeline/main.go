@@ -1,0 +1,185 @@
+// Pipeline: first-class continuations in action — the paper's Section 3.2.3
+// and 3.3 mechanisms on a small service chain.
+//
+// A client invokes a pipeline of transform stages spread over the machine.
+// Each stage tail-forwards the request — and with it the *right to reply*
+// (the continuation, like call/cc in Scheme) — to the next stage, so the
+// final stage answers the client directly: no stage waits for a reply it
+// only relays. When stages happen to be co-located, the whole chain runs on
+// the stack of one node; when they are remote, the continuation is
+// materialized lazily and travels in the message.
+//
+// The example also builds a user-defined synchronization structure (the
+// paper's barrier example): a combining barrier object that *captures* the
+// continuations of arriving clients and determines them all when the last
+// participant arrives.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+
+	concert "repro"
+)
+
+// stage is one pipeline transform: add then scale, then hand on.
+type stage struct {
+	add, mul int64
+	next     concert.Ref // NilRef for the last stage
+}
+
+// barrier is the user-defined synchronization structure: it stores captured
+// continuations until count participants have arrived.
+type barrier struct {
+	expect  int
+	arrived int
+	waiters []concert.Cont
+}
+
+type program struct {
+	prog    *concert.Program
+	process *concert.Method
+	arrive  *concert.Method
+	client  *concert.Method
+}
+
+func build() *program {
+	p := &program{prog: concert.NewProgram()}
+
+	// process(x): transform and forward. Declared Captures because the
+	// forward may leave the node, which requires the continuation.
+	p.process = &concert.Method{Name: "pipe.process", NArgs: 1, Captures: true}
+	p.process.Body = func(rt *concert.RT, fr *concert.Frame) concert.Status {
+		s := fr.Node.State(fr.Self).(*stage)
+		x := fr.Arg(0).Int()
+		x = (x + s.add) * s.mul
+		rt.Work(fr, 12)
+		if s.next.IsNil() {
+			rt.Reply(fr, concert.IntW(x)) // answer the original client directly
+			return concert.Done
+		}
+		return rt.ForwardTail(fr, p.process, s.next, concert.IntW(x))
+	}
+	p.process.Forwards = []*concert.Method{p.process}
+	p.prog.Add(p.process)
+
+	// arrive(rank): capture the caller's continuation; when everyone has
+	// arrived, determine them all with the arrival count.
+	p.arrive = &concert.Method{Name: "pipe.arrive", NArgs: 1, Captures: true}
+	p.arrive.Body = func(rt *concert.RT, fr *concert.Frame) concert.Status {
+		b := fr.Node.State(fr.Self).(*barrier)
+		b.arrived++
+		cont := rt.CaptureCont(fr)
+		b.waiters = append(b.waiters, cont)
+		rt.Work(fr, 8)
+		if b.arrived == b.expect {
+			for _, w := range b.waiters {
+				rt.DeliverCont(fr.Node, w, concert.IntW(int64(b.arrived)), false)
+			}
+			b.waiters = b.waiters[:0]
+		}
+		return concert.Forwarded
+	}
+	p.prog.Add(p.arrive)
+
+	// client(pipeHead, barrierRef, x): send a request down the pipeline,
+	// then meet the other clients at the barrier.
+	p.client = &concert.Method{Name: "pipe.client", NArgs: 3, NFutures: 2,
+		MayBlockLocal: true, Calls: []*concert.Method{p.process, p.arrive}}
+	p.client.Body = func(rt *concert.RT, fr *concert.Frame) concert.Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, p.process, fr.Arg(0).Ref(), 0, fr.Arg(2))
+			fr.PC = 1
+			if st == concert.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, concert.Mask(0)) {
+				return concert.Unwound
+			}
+			st := rt.Invoke(fr, p.arrive, fr.Arg(1).Ref(), 1)
+			fr.PC = 2
+			if st == concert.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 2:
+			if !rt.TouchAll(fr, concert.Mask(1)) {
+				return concert.Unwound
+			}
+			// Result: pipeline output, tagged with the barrier count.
+			rt.Reply(fr, concert.IntW(fr.Fut(0).Int()*1000+fr.Fut(1).Int()))
+			return concert.Done
+		}
+		panic("pipe.client: bad pc")
+	}
+	p.prog.Add(p.client)
+	return p
+}
+
+func run(colocate bool) {
+	p := build()
+	if err := p.prog.Resolve(concert.Interfaces3); err != nil {
+		panic(err)
+	}
+	const nodes = 4
+	const clients = 3
+	sys := concert.NewSystem(concert.CM5(), nodes, p.prog, concert.DefaultHybrid())
+
+	// Three stages: ((x+1)*2 + 10)*3, then +0 *1 as a terminator.
+	stageSpecs := []*stage{{add: 1, mul: 2}, {add: 10, mul: 3}, {add: 0, mul: 1}}
+	refs := make([]concert.Ref, len(stageSpecs))
+	for i := len(stageSpecs) - 1; i >= 0; i-- {
+		node := 0
+		if !colocate {
+			node = (i + 1) % nodes
+		}
+		if i < len(stageSpecs)-1 {
+			stageSpecs[i].next = refs[i+1]
+		} else {
+			stageSpecs[i].next = concert.NilRef
+		}
+		refs[i] = sys.NewObject(node, stageSpecs[i])
+	}
+	bar := sys.NewObject(0, &barrier{expect: clients})
+
+	var results []*concert.Result
+	for c := 0; c < clients; c++ {
+		node := c % nodes
+		clientObj := sys.NewObject(node, nil)
+		results = append(results, sys.Start(node, p.client, clientObj,
+			concert.RefW(refs[0]), concert.RefW(bar), concert.IntW(int64(c+1))))
+	}
+	sys.MustRun()
+
+	layoutName := "stages spread over the machine"
+	if colocate {
+		layoutName = "stages co-located on node 0"
+	}
+	fmt.Printf("%s:\n", layoutName)
+	for c, r := range results {
+		x := int64(c + 1)
+		want := ((x+1)*2+10)*3*1000 + clients
+		fmt.Printf("  client %d: pipeline((%d+1)*2+10)*3 with barrier count -> %d (want %d)\n",
+			c, x, r.Val.Int(), want)
+		if r.Val.Int() != want {
+			panic("wrong answer")
+		}
+	}
+	st := sys.Stats()
+	fmt.Printf("  messages %d, fallbacks %d, stack calls %d\n\n",
+		sys.Messages(), st.Fallbacks, st.StackCalls)
+}
+
+func main() {
+	fmt.Println("Continuation forwarding and a user-defined barrier (paper §3.2.3, §3.3)")
+	fmt.Println()
+	run(true)
+	run(false)
+	fmt.Println("Co-located, the forwarded chain executes entirely on one stack; spread")
+	fmt.Println("out, the continuation is created lazily and rides along in the messages,")
+	fmt.Println("and the last stage replies straight to the client.")
+}

@@ -1,0 +1,86 @@
+// Package analysis implements the interprocedural property analysis the
+// Concert compiler uses to select a sequential calling schema per method
+// (paper Section 3.2): "our compiler performs a global flow analysis which
+// conservatively determines the blocking and continuation requirements of
+// methods and uses that information to select the appropriate schema."
+//
+// Two transitive properties are computed over the call graph:
+//
+//   - MayBlock: a method may block if it may suspend locally (touching a
+//     future that a possibly-remote or possibly-locked invocation feeds, or
+//     acquiring a lock), or if anything it calls may block. A method that
+//     provably cannot block anywhere in its call subtree gets the
+//     Non-blocking schema — "entire non-blocking subgraphs are executed with
+//     no overhead" (Section 3.2.1).
+//
+//   - NeedsCont: a method needs the continuation-passing schema if it may
+//     explicitly capture its continuation (store it, pass it in a data
+//     structure, or forward it off-node), or if it tail-forwards its reply
+//     obligation to a method that itself needs a continuation. Ordinary
+//     calls to CP methods do NOT propagate the property: the caller merely
+//     supplies caller_info at that call site.
+//
+// The analysis is a simple monotone fixpoint, conservative over cycles
+// (recursive methods that might block are classified May-block, exactly as
+// the paper's conservative analysis would).
+package analysis
+
+// MethodInfo describes the locally-visible properties of one method and its
+// call-graph edges. Indices in Calls and Forwards refer to positions in the
+// slice passed to Solve.
+type MethodInfo struct {
+	Name string
+	// MayBlockLocal is true if the method body itself contains a potential
+	// suspension point: a touch fed by a possibly-remote call, or a lock
+	// acquisition.
+	MayBlockLocal bool
+	// Captures is true if the method may explicitly capture its
+	// continuation (first-class continuation use).
+	Captures bool
+	// Calls lists ordinary (result-returning) callees.
+	Calls []int
+	// Forwards lists callees invoked as tail-forwards, passing this
+	// method's reply obligation along.
+	Forwards []int
+}
+
+// Props is the solved transitive property set for one method.
+type Props struct {
+	MayBlock  bool
+	NeedsCont bool
+}
+
+// Solve computes the transitive MayBlock and NeedsCont properties for every
+// method by monotone fixpoint iteration. Indices out of range panic: the
+// caller constructed an inconsistent call graph.
+func Solve(methods []MethodInfo) []Props {
+	props := make([]Props, len(methods))
+	for i, m := range methods {
+		props[i].MayBlock = m.MayBlockLocal
+		props[i].NeedsCont = m.Captures
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, m := range methods {
+			p := props[i]
+			for _, c := range m.Calls {
+				if props[c].MayBlock {
+					p.MayBlock = true
+				}
+			}
+			for _, f := range m.Forwards {
+				if props[f].MayBlock {
+					p.MayBlock = true
+				}
+				if props[f].NeedsCont {
+					p.NeedsCont = true
+				}
+			}
+			if p != props[i] {
+				props[i] = p
+				changed = true
+			}
+		}
+	}
+	return props
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solve(ms ...MethodInfo) []Props { return Solve(ms) }
+
+func TestLeafNonBlocking(t *testing.T) {
+	p := solve(MethodInfo{Name: "leaf"})
+	if p[0].MayBlock || p[0].NeedsCont {
+		t.Fatalf("pure leaf solved as %+v", p[0])
+	}
+}
+
+func TestBlockingPropagatesThroughCalls(t *testing.T) {
+	// c calls b calls a; a may block locally.
+	p := solve(
+		MethodInfo{Name: "a", MayBlockLocal: true},
+		MethodInfo{Name: "b", Calls: []int{0}},
+		MethodInfo{Name: "c", Calls: []int{1}},
+	)
+	for i, want := range []bool{true, true, true} {
+		if p[i].MayBlock != want {
+			t.Errorf("method %d MayBlock = %v, want %v", i, p[i].MayBlock, want)
+		}
+	}
+}
+
+func TestNonBlockingSubgraphStaysNB(t *testing.T) {
+	// A non-blocking subtree under a blocking root: the subtree keeps NB.
+	p := solve(
+		MethodInfo{Name: "leaf1"},
+		MethodInfo{Name: "leaf2", Calls: []int{0}},
+		MethodInfo{Name: "root", MayBlockLocal: true, Calls: []int{1}},
+	)
+	if p[0].MayBlock || p[1].MayBlock {
+		t.Error("non-blocking subgraph classified blocking")
+	}
+	if !p[2].MayBlock {
+		t.Error("root should block")
+	}
+}
+
+func TestCaptureNeedsCont(t *testing.T) {
+	p := solve(MethodInfo{Name: "cap", Captures: true})
+	if !p[0].NeedsCont {
+		t.Fatal("capturing method must need a continuation")
+	}
+}
+
+func TestNeedsContPropagatesAlongForwardsOnly(t *testing.T) {
+	// fwd tail-forwards to cap (captures); caller merely calls fwd.
+	p := solve(
+		MethodInfo{Name: "cap", Captures: true},
+		MethodInfo{Name: "fwd", Forwards: []int{0}},
+		MethodInfo{Name: "caller", Calls: []int{1}},
+	)
+	if !p[1].NeedsCont {
+		t.Error("forwarding to a capturing method must need a continuation")
+	}
+	if p[2].NeedsCont {
+		t.Error("ordinary call to a CP method must not make the caller CP")
+	}
+}
+
+func TestRecursiveCycleConservative(t *testing.T) {
+	// Mutually recursive pair where one may block: both must be MayBlock.
+	p := solve(
+		MethodInfo{Name: "even", Calls: []int{1}},
+		MethodInfo{Name: "odd", Calls: []int{0}, MayBlockLocal: true},
+	)
+	if !p[0].MayBlock || !p[1].MayBlock {
+		t.Fatal("cycle not solved conservatively")
+	}
+}
+
+func TestSelfForwardingCycle(t *testing.T) {
+	// A chain method forwarding to itself does not need a continuation
+	// unless it captures.
+	p := solve(MethodInfo{Name: "chain", Forwards: []int{0}})
+	if p[0].NeedsCont {
+		t.Fatal("pure self-forwarding chain must not need a continuation")
+	}
+	p = solve(MethodInfo{Name: "chain", Forwards: []int{0}, Captures: true})
+	if !p[0].NeedsCont {
+		t.Fatal("capturing self-forwarding chain must need a continuation")
+	}
+}
+
+func randGraph(rng *rand.Rand, n int) []MethodInfo {
+	ms := make([]MethodInfo, n)
+	for i := range ms {
+		ms[i].MayBlockLocal = rng.Intn(4) == 0
+		ms[i].Captures = rng.Intn(6) == 0
+		for e := rng.Intn(4); e > 0; e-- {
+			ms[i].Calls = append(ms[i].Calls, rng.Intn(n))
+		}
+		for e := rng.Intn(2); e > 0; e-- {
+			ms[i].Forwards = append(ms[i].Forwards, rng.Intn(n))
+		}
+	}
+	return ms
+}
+
+// Property: the solution is a fixpoint — re-running one propagation step
+// changes nothing — and is consistent with the local declarations.
+func TestQuickSolutionIsFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ms := randGraph(rng, 2+rng.Intn(20))
+		p := Solve(ms)
+		for i, m := range ms {
+			if m.MayBlockLocal && !p[i].MayBlock {
+				return false
+			}
+			if m.Captures && !p[i].NeedsCont {
+				return false
+			}
+			for _, c := range m.Calls {
+				if p[c].MayBlock && !p[i].MayBlock {
+					return false
+				}
+			}
+			for _, fw := range m.Forwards {
+				if p[fw].MayBlock && !p[i].MayBlock {
+					return false
+				}
+				if p[fw].NeedsCont && !p[i].NeedsCont {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: monotonicity — adding an edge never clears a property.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ms := randGraph(rng, 2+rng.Intn(15))
+		before := Solve(ms)
+		// Add one random edge.
+		i := rng.Intn(len(ms))
+		j := rng.Intn(len(ms))
+		if rng.Intn(2) == 0 {
+			ms[i].Calls = append(ms[i].Calls, j)
+		} else {
+			ms[i].Forwards = append(ms[i].Forwards, j)
+		}
+		after := Solve(ms)
+		for k := range ms {
+			if before[k].MayBlock && !after[k].MayBlock {
+				return false
+			}
+			if before[k].NeedsCont && !after[k].NeedsCont {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

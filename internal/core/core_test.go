@@ -1,0 +1,492 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/instr"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// buildFib registers the classic doubly-recursive fib as a fine-grained
+// method: two concurrent self-invocations synchronized by one touch of both
+// futures (the paper's Figure 4 code shape).
+func buildFib(p *Program) *Method {
+	fib := &Method{Name: "fib", NArgs: 1, NFutures: 2, MayBlockLocal: true}
+	fib.Body = func(rt *RT, fr *Frame) Status {
+		switch fr.PC {
+		case 0:
+			n := fr.Arg(0).Int()
+			rt.Work(fr, 5)
+			if n < 2 {
+				rt.Reply(fr, IntW(n))
+				return Done
+			}
+			st := rt.Invoke(fr, fib, fr.Self, 0, IntW(n-1))
+			fr.PC = 1
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			st := rt.Invoke(fr, fib, fr.Self, 1, IntW(fr.Arg(0).Int()-2))
+			fr.PC = 2
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 2:
+			if !rt.TouchAll(fr, Mask(0, 1)) {
+				return Unwound
+			}
+			rt.Reply(fr, IntW(fr.Fut(0).Int()+fr.Fut(1).Int()))
+			return Done
+		}
+		panic("fib: bad pc")
+	}
+	fib.Calls = []*Method{fib}
+	p.Add(fib)
+	return fib
+}
+
+func nativeFib(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	return nativeFib(n-1) + nativeFib(n-2)
+}
+
+// runSingle executes a root invocation of m on a fresh 1-node machine.
+func runSingle(t *testing.T, p *Program, cfg Config, m *Method, args ...Word) (*RT, Word) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	rt := NewRT(eng, machine.SPARCStation(), p, cfg)
+	self := rt.Node(0).NewObject(nil)
+	var res Result
+	rt.StartOn(0, m, self, &res, args...)
+	rt.Run()
+	if !res.Done {
+		t.Fatalf("root invocation of %s did not complete", m.Name)
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	return rt, res.Val
+}
+
+func TestFibHybridSingleNode(t *testing.T) {
+	p := NewProgram()
+	fib := buildFib(p)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	if fib.Required != SchemaMB {
+		t.Fatalf("fib required schema = %v, want MB", fib.Required)
+	}
+	for n := int64(0); n <= 15; n++ {
+		_, v := runSingle(t, p, DefaultHybrid(), fib, IntW(n))
+		if v.Int() != nativeFib(n) {
+			t.Fatalf("hybrid fib(%d) = %d, want %d", n, v.Int(), nativeFib(n))
+		}
+	}
+}
+
+func TestFibParallelOnlySingleNode(t *testing.T) {
+	p := NewProgram()
+	fib := buildFib(p)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	for n := int64(0); n <= 12; n++ {
+		_, v := runSingle(t, p, ParallelOnly(), fib, IntW(n))
+		if v.Int() != nativeFib(n) {
+			t.Fatalf("parallel-only fib(%d) = %d, want %d", n, v.Int(), nativeFib(n))
+		}
+	}
+}
+
+// TestHybridBeatsHeapSequential checks the headline sequential claim: with
+// all data local, hybrid stack execution is several times cheaper than
+// heap-only execution (Table 3's shape).
+func TestHybridBeatsHeapSequential(t *testing.T) {
+	mk := func(cfg Config) instr.Instr {
+		p := NewProgram()
+		fib := buildFib(p)
+		if err := p.Resolve(cfg.Interfaces); err != nil {
+			t.Fatal(err)
+		}
+		rt, v := runSingle(t, p, cfg, fib, IntW(18))
+		if v.Int() != nativeFib(18) {
+			t.Fatalf("fib(18) = %d", v.Int())
+		}
+		return rt.Eng.MaxClock()
+	}
+	hybrid := mk(DefaultHybrid())
+	heap := mk(ParallelOnly())
+	if hybrid*2 >= heap {
+		t.Fatalf("hybrid (%d instr) should be at least 2x cheaper than heap-only (%d instr)", hybrid, heap)
+	}
+}
+
+// TestHybridNoHeapContextsWhenLocal checks the core adaptivity property: a
+// fully local computation runs entirely on the stack — zero heap contexts
+// beyond the root, zero fallbacks.
+func TestHybridNoHeapContextsWhenLocal(t *testing.T) {
+	p := NewProgram()
+	fib := buildFib(p)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := runSingle(t, p, DefaultHybrid(), fib, IntW(15))
+	s := rt.TotalStats()
+	if s.HeapInvokes != 1 { // the root context only
+		t.Fatalf("HeapInvokes = %d, want 1 (root only)", s.HeapInvokes)
+	}
+	if s.Fallbacks != 0 {
+		t.Fatalf("Fallbacks = %d, want 0", s.Fallbacks)
+	}
+	if s.StackCalls == 0 {
+		t.Fatal("expected stack calls")
+	}
+}
+
+// remoteSumProgram: a driver on node 0 invokes get() on two cells that can
+// be placed anywhere; get is a non-blocking leaf.
+type cellState struct{ v int64 }
+
+func buildRemoteSum(p *Program) (sum, get *Method) {
+	get = &Method{Name: "get", NArgs: 0, NFutures: 0}
+	get.Body = func(rt *RT, fr *Frame) Status {
+		rt.Work(fr, 3)
+		rt.Reply(fr, IntW(fr.Node.State(fr.Self).(*cellState).v))
+		return Done
+	}
+	p.Add(get)
+
+	sum = &Method{Name: "sum", NArgs: 2, NFutures: 2, MayBlockLocal: true, Calls: []*Method{get}}
+	sum.Body = func(rt *RT, fr *Frame) Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, get, fr.Arg(0).Ref(), 0)
+			fr.PC = 1
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			st := rt.Invoke(fr, get, fr.Arg(1).Ref(), 1)
+			fr.PC = 2
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 2:
+			if !rt.TouchAll(fr, Mask(0, 1)) {
+				return Unwound
+			}
+			rt.Reply(fr, IntW(fr.Fut(0).Int()+fr.Fut(1).Int()))
+			return Done
+		}
+		panic("sum: bad pc")
+	}
+	p.Add(sum)
+	return sum, get
+}
+
+func runRemoteSum(t *testing.T, cfg Config, sameNode bool) (*RT, Word) {
+	t.Helper()
+	p := NewProgram()
+	sum, get := buildRemoteSum(p)
+	if err := p.Resolve(cfg.Interfaces); err != nil {
+		t.Fatal(err)
+	}
+	if get.Required != SchemaNB {
+		t.Fatalf("get required schema = %v, want NB", get.Required)
+	}
+	eng := sim.NewEngine(2)
+	rt := NewRT(eng, machine.CM5(), p, cfg)
+	driver := rt.Node(0).NewObject(nil)
+	a := rt.Node(0).NewObject(&cellState{10})
+	bNode := 1
+	if sameNode {
+		bNode = 0
+	}
+	b := rt.Nodes[bNode].NewObject(&cellState{32})
+	var res Result
+	rt.StartOn(0, sum, driver, &res, RefW(a), RefW(b))
+	rt.Run()
+	if !res.Done {
+		t.Fatal("sum did not complete")
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	return rt, res.Val
+}
+
+func TestRemoteInvocationHybrid(t *testing.T) {
+	rt, v := runRemoteSum(t, DefaultHybrid(), false)
+	if v.Int() != 42 {
+		t.Fatalf("sum = %d, want 42", v.Int())
+	}
+	s := rt.TotalStats()
+	if s.RemoteInvokes != 1 {
+		t.Fatalf("RemoteInvokes = %d, want 1", s.RemoteInvokes)
+	}
+	if s.Suspends == 0 {
+		t.Fatal("expected the remote invoke to suspend the caller at its touch")
+	}
+	// The remote get should have run as a wrapper, straight from the buffer.
+	if s.WrapperRuns != 1 {
+		t.Fatalf("WrapperRuns = %d, want 1", s.WrapperRuns)
+	}
+}
+
+func TestRemoteInvocationParallelOnly(t *testing.T) {
+	rt, v := runRemoteSum(t, ParallelOnly(), false)
+	if v.Int() != 42 {
+		t.Fatalf("sum = %d, want 42", v.Int())
+	}
+	if rt.TotalStats().WrapperRuns != 0 {
+		t.Fatal("parallel-only must not run wrappers")
+	}
+}
+
+func TestLocalPlacementAvoidsMessages(t *testing.T) {
+	rt, v := runRemoteSum(t, DefaultHybrid(), true)
+	if v.Int() != 42 {
+		t.Fatalf("sum = %d, want 42", v.Int())
+	}
+	if rt.Eng.TotalMessages() != 0 {
+		t.Fatalf("messages = %d, want 0", rt.Eng.TotalMessages())
+	}
+	if rt.TotalStats().Fallbacks != 0 {
+		t.Fatalf("fallbacks = %d, want 0", rt.TotalStats().Fallbacks)
+	}
+}
+
+// Forwarding: A invokes B, B tail-forwards to C; when everything is local
+// the whole chain must execute on the stack with no contexts and no
+// messages; when C is remote the continuation must be materialized and the
+// reply must bypass B entirely.
+func buildForwardChain(p *Program) (root, mid, leaf *Method) {
+	leaf = &Method{Name: "leaf", NArgs: 1, NFutures: 0}
+	leaf.Body = func(rt *RT, fr *Frame) Status {
+		rt.Reply(fr, IntW(fr.Arg(0).Int()*2))
+		return Done
+	}
+	p.Add(leaf)
+
+	mid = &Method{Name: "mid", NArgs: 2, NFutures: 0, Forwards: []*Method{leaf}}
+	mid.Body = func(rt *RT, fr *Frame) Status {
+		return rt.ForwardTail(fr, leaf, fr.Arg(1).Ref(), IntW(fr.Arg(0).Int()+1))
+	}
+	p.Add(mid)
+
+	root = &Method{Name: "chainroot", NArgs: 2, NFutures: 1, MayBlockLocal: true, Calls: []*Method{mid}}
+	root.Body = func(rt *RT, fr *Frame) Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, mid, fr.Self, 0, fr.Arg(0), fr.Arg(1))
+			fr.PC = 1
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, Mask(0)) {
+				return Unwound
+			}
+			rt.Reply(fr, fr.Fut(0))
+			return Done
+		}
+		panic("chainroot: bad pc")
+	}
+	p.Add(root)
+	return root, mid, leaf
+}
+
+func TestForwardOnStack(t *testing.T) {
+	p := NewProgram()
+	root, mid, leaf := buildForwardChain(p)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Required != SchemaNB || mid.Required != SchemaNB {
+		t.Fatalf("leaf/mid schemas = %v/%v; a forward chain to a non-capturing leaf stays NB", leaf.Required, mid.Required)
+	}
+	_ = mid
+	eng := sim.NewEngine(2)
+	rt := NewRT(eng, machine.CM5(), p, DefaultHybrid())
+	driver := rt.Node(0).NewObject(nil)
+	leafObj := rt.Node(0).NewObject(nil)
+	var res Result
+	rt.StartOn(0, root, driver, &res, IntW(20), RefW(leafObj))
+	rt.Run()
+	if !res.Done || res.Val.Int() != 42 {
+		t.Fatalf("forward chain result = %v done=%v, want 42", res.Val.Int(), res.Done)
+	}
+	if rt.Eng.TotalMessages() != 0 {
+		t.Fatalf("local forward chain sent %d messages, want 0", rt.Eng.TotalMessages())
+	}
+	if rt.TotalStats().Fallbacks != 0 {
+		t.Fatalf("local forward chain fell back %d times, want 0", rt.TotalStats().Fallbacks)
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardOffNode(t *testing.T) {
+	p := NewProgram()
+	root, _, _ := buildForwardChain(p)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(2)
+	rt := NewRT(eng, machine.CM5(), p, DefaultHybrid())
+	driver := rt.Node(0).NewObject(nil)
+	leafObj := rt.Node(1).NewObject(nil) // remote leaf: continuation travels
+	var res Result
+	rt.StartOn(0, root, driver, &res, IntW(20), RefW(leafObj))
+	rt.Run()
+	if !res.Done || res.Val.Int() != 42 {
+		t.Fatalf("off-node forward result = %v done=%v, want 42", res.Val.Int(), res.Done)
+	}
+	// One request out, one reply back; the reply goes straight to the root's
+	// continuation, never revisiting mid.
+	if got := rt.Eng.TotalMessages(); got != 2 {
+		t.Fatalf("messages = %d, want 2 (request + direct reply)", got)
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Locks: two increments race on one counter object; the lock must
+// serialize them and transfer to the waiter.
+func TestObjectLockSerializes(t *testing.T) {
+	p := NewProgram()
+	type counter struct{ v, active, maxActive int64 }
+
+	slowInc := &Method{Name: "slowinc", NArgs: 1, NFutures: 1, Locks: true, MayBlockLocal: true}
+	get := &Method{Name: "lockget", NArgs: 0}
+	get.Body = func(rt *RT, fr *Frame) Status {
+		rt.Reply(fr, IntW(fr.Node.State(fr.Self).(*cellState).v))
+		return Done
+	}
+	p.Add(get)
+	slowInc.Calls = []*Method{get}
+	slowInc.Body = func(rt *RT, fr *Frame) Status {
+		c := fr.Node.State(fr.Self).(*counter)
+		switch fr.PC {
+		case 0:
+			c.active++
+			if c.active > c.maxActive {
+				c.maxActive = c.active
+			}
+			// Invoke a remote get while holding the lock: forces suspension
+			// with the lock held, so the second inc must wait.
+			st := rt.Invoke(fr, get, fr.Arg(0).Ref(), 0)
+			fr.PC = 1
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, Mask(0)) {
+				return Unwound
+			}
+			c.v += fr.Fut(0).Int()
+			c.active--
+			rt.Reply(fr, IntW(c.v))
+			return Done
+		}
+		panic("slowinc: bad pc")
+	}
+	p.Add(slowInc)
+
+	driver := &Method{Name: "lockdriver", NArgs: 2, NFutures: 2, MayBlockLocal: true, Calls: []*Method{slowInc}}
+	driver.Body = func(rt *RT, fr *Frame) Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, slowInc, fr.Arg(0).Ref(), 0, fr.Arg(1))
+			fr.PC = 1
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			st := rt.Invoke(fr, slowInc, fr.Arg(0).Ref(), 1, fr.Arg(1))
+			fr.PC = 2
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 2:
+			if !rt.TouchAll(fr, Mask(0, 1)) {
+				return Unwound
+			}
+			rt.Reply(fr, IntW(fr.Fut(0).Int()+fr.Fut(1).Int()))
+			return Done
+		}
+		panic("lockdriver: bad pc")
+	}
+	p.Add(driver)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	if slowInc.Required != SchemaMB {
+		t.Fatalf("slowInc schema = %v, want MB", slowInc.Required)
+	}
+
+	eng := sim.NewEngine(2)
+	rt := NewRT(eng, machine.CM5(), p, DefaultHybrid())
+	d := rt.Node(0).NewObject(nil)
+	cnt := rt.Node(0).NewObject(&counter{})
+	cell := rt.Node(1).NewObject(&cellState{v: 7})
+	var res Result
+	rt.StartOn(0, driver, d, &res, RefW(cnt), RefW(cell))
+	rt.Run()
+	if !res.Done {
+		t.Fatal("lock driver did not complete")
+	}
+	c := rt.Node(0).State(cnt).(*counter)
+	if c.v != 14 {
+		t.Fatalf("counter = %d, want 14", c.v)
+	}
+	if c.maxActive != 1 {
+		t.Fatalf("maxActive = %d: lock failed to serialize", c.maxActive)
+	}
+	// 7 + 14: the second inc sees the first's result.
+	if res.Val.Int() != 7+14 {
+		t.Fatalf("driver result = %d, want 21", res.Val.Int())
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: identical runs must produce identical virtual times, event
+// counts and statistics.
+func TestDeterminism(t *testing.T) {
+	run := func() (sim.Time, int64, NodeStats) {
+		p := NewProgram()
+		fib := buildFib(p)
+		if err := p.Resolve(Interfaces3); err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine(4)
+		rt := NewRT(eng, machine.CM5(), p, DefaultHybrid())
+		self := rt.Node(0).NewObject(nil)
+		var res Result
+		rt.StartOn(0, fib, self, &res, IntW(14))
+		rt.Run()
+		return eng.MaxClock(), eng.EventCount, rt.TotalStats()
+	}
+	t1, e1, s1 := run()
+	t2, e2, s2 := run()
+	if t1 != t2 || e1 != e2 || s1 != s2 {
+		t.Fatalf("nondeterministic: (%d,%d,%+v) vs (%d,%d,%+v)", t1, e1, s1, t2, e2, s2)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import "fmt"
+
+// Mode distinguishes where an activation conceptually lives. Frames are
+// always pool-backed Go structs (so pointers into them stay valid across
+// promotion — the analogue of the paper's pointer-stable heap contexts),
+// but the mode determines both the execution semantics (synchronous
+// completion versus suspension) and the costs charged.
+type Mode uint8
+
+const (
+	// StackMode: the activation is executing as a speculative sequential
+	// call on the (simulated) stack.
+	StackMode Mode = iota
+	// HeapMode: the activation is a heap context scheduled by the runtime.
+	HeapMode
+)
+
+// JoinDiscard is the future-slot value meaning "count the reply toward the
+// frame's join counter but discard the value" — the calling convention for
+// wide joins (parallel loops, barriers) where per-value cells would not fit
+// a touch mask.
+const JoinDiscard = -1
+
+// Cell is a future: a single-assignment value slot inside an activation
+// frame. The paper stores futures at fixed offsets in heap contexts; here
+// they are fixed slots of the frame.
+type Cell struct {
+	Val  Word
+	Full bool
+}
+
+// Frame is one activation: the unified stack-frame / heap-context record.
+type Frame struct {
+	M    *Method
+	Node *NodeRT
+	Self Ref
+
+	// PC is the resume point within the body.
+	PC int
+	// Mode is the current execution mode (see Mode).
+	Mode Mode
+
+	// Args and Locals are the compiler-managed state words.
+	Args   []Word
+	Locals []Word
+	// fut holds the frame's future cells.
+	fut []Cell
+
+	// RetCont is the continuation for this activation's result — the fixed
+	// "return continuation" location of the paper's heap contexts.
+	RetCont Cont
+	// CInfo is the caller_info of the CP schema (Section 3.2.3).
+	CInfo CallerInfo
+
+	// touch and join implement touch sets: touch is the slot mask being
+	// waited on, joinOut counts outstanding JoinDiscard replies, join is
+	// the number of fills still needed before the frame wakes.
+	touch   uint64
+	join    int
+	joinOut int
+	waiting bool
+
+	// promoted marks that the frame has (lazily) become a heap context.
+	promoted bool
+	// captured marks that the activation's continuation was explicitly
+	// captured; Reply must then not also run through RetCont.
+	captured bool
+	// lockObj is the object whose lock this activation holds, if any.
+	lockObj *Object
+
+	// next links frames in run queues, lock waiter lists and the pool.
+	next *Frame
+}
+
+// Arg returns argument word i.
+func (fr *Frame) Arg(i int) Word { return fr.Args[i] }
+
+// Local returns local word i.
+func (fr *Frame) Local(i int) Word { return fr.Locals[i] }
+
+// SetLocal stores local word i.
+func (fr *Frame) SetLocal(i int, w Word) { fr.Locals[i] = w }
+
+// Fut returns the value of future slot i; it panics if the slot is empty —
+// bodies must touch before reading.
+func (fr *Frame) Fut(i int) Word {
+	if !fr.fut[i].Full {
+		panic(fmt.Sprintf("core: %s read empty future slot %d", fr.M.Name, i))
+	}
+	return fr.fut[i].Val
+}
+
+// FutFull reports whether future slot i has been determined.
+func (fr *Frame) FutFull(i int) bool { return fr.fut[i].Full }
+
+// ClearFut empties future slot i so it can be reused (e.g. across loop
+// iterations). Clearing while the frame is waiting on the slot panics.
+func (fr *Frame) ClearFut(i int) {
+	if fr.waiting && fr.touch&(1<<uint(i)) != 0 {
+		panic("core: ClearFut on a slot being waited on")
+	}
+	fr.fut[i] = Cell{}
+}
+
+// Promoted reports whether the frame has become a heap context.
+func (fr *Frame) Promoted() bool { return fr.promoted }
+
+// Mask builds a touch mask from future slot indices.
+func Mask(slots ...int) uint64 {
+	var m uint64
+	for _, s := range slots {
+		if s < 0 || s >= 64 {
+			panic("core: touch mask slot out of range")
+		}
+		m |= 1 << uint(s)
+	}
+	return m
+}
+
+// MaskRange builds a touch mask covering slots [lo, hi).
+func MaskRange(lo, hi int) uint64 {
+	if lo < 0 || hi > 64 || lo > hi {
+		panic("core: MaskRange out of range")
+	}
+	var m uint64
+	for s := lo; s < hi; s++ {
+		m |= 1 << uint(s)
+	}
+	return m
+}
+
+// framePool recycles frames per node. Checkout cost is charged according to
+// mode: stack frames are (nearly) free, matching stack allocation; heap
+// promotion charges context-allocation costs.
+type framePool struct {
+	free *Frame
+	// Live counts checked-out frames; at quiescence it must be zero
+	// (context-leak invariant, checked by tests).
+	Live int64
+	// Allocs counts true allocations (pool misses).
+	Allocs int64
+}
+
+func (p *framePool) checkout(m *Method, node *NodeRT, self Ref, args []Word) *Frame {
+	fr := p.free
+	if fr == nil {
+		fr = &Frame{}
+		p.Allocs++
+	} else {
+		p.free = fr.next
+	}
+	p.Live++
+	fr.M = m
+	fr.Node = node
+	fr.Self = self
+	fr.PC = 0
+	fr.Mode = StackMode
+	fr.RetCont = Cont{}
+	fr.CInfo = CallerInfo{}
+	fr.touch = 0
+	fr.join = 0
+	fr.joinOut = 0
+	fr.waiting = false
+	fr.promoted = false
+	fr.captured = false
+	fr.lockObj = nil
+	fr.next = nil
+
+	fr.Args = resizeWords(fr.Args, m.NArgs)
+	copy(fr.Args, args)
+	fr.Locals = resizeWords(fr.Locals, m.NLocals)
+	for i := range fr.Locals {
+		fr.Locals[i] = 0
+	}
+	if cap(fr.fut) < m.NFutures {
+		fr.fut = make([]Cell, m.NFutures)
+	} else {
+		fr.fut = fr.fut[:m.NFutures]
+		for i := range fr.fut {
+			fr.fut[i] = Cell{}
+		}
+	}
+	return fr
+}
+
+func (p *framePool) release(fr *Frame) {
+	if fr.lockObj != nil {
+		panic("core: releasing frame that still holds a lock")
+	}
+	fr.M = nil
+	fr.next = p.free
+	p.free = fr
+	p.Live--
+}
+
+func resizeWords(s []Word, n int) []Word {
+	if cap(s) < n {
+		return make([]Word, n)
+	}
+	return s[:n]
+}
+
+// frameQueue is an intrusive FIFO of frames (run queues, lock waiters).
+type frameQueue struct {
+	head, tail *Frame
+	n          int
+}
+
+func (q *frameQueue) push(fr *Frame) {
+	fr.next = nil
+	if q.tail == nil {
+		q.head = fr
+	} else {
+		q.tail.next = fr
+	}
+	q.tail = fr
+	q.n++
+}
+
+func (q *frameQueue) pop() *Frame {
+	fr := q.head
+	if fr == nil {
+		return nil
+	}
+	q.head = fr.next
+	if q.head == nil {
+		q.tail = nil
+	}
+	fr.next = nil
+	q.n--
+	return fr
+}
+
+func (q *frameQueue) empty() bool { return q.head == nil }
+func (q *frameQueue) len() int    { return q.n }

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/instr"
+	"repro/internal/trace"
+)
+
+// Invoke issues a method invocation from the running activation fr to
+// method m on target, directing the result to future slot `slot` of fr
+// (or JoinDiscard to only count it toward fr's join).
+//
+// This is the hybrid model's central dispatch (paper Section 3):
+//
+//   - local, unlocked target under the hybrid model: speculative sequential
+//     execution on the stack; the callee either completes synchronously
+//     (OK) or unwinds into a lazily-created heap context (the caller gets
+//     NeedUnwind if it is itself on the stack);
+//   - local target under the parallel-only model (or past the inlining
+//     depth limit): a heap context is allocated and scheduled;
+//   - remote target: an active message carries the invocation and a
+//     continuation for the result; a stack-mode caller must then fall back
+//     to its parallel version ("communication is required, and the stack
+//     invocation falls back to the parallel version to enable
+//     multithreading for latency tolerance", Section 4.3.2).
+//
+// A body receiving NeedUnwind must set fr.PC to its resume point and
+// `return rt.Unwind(fr)`.
+func (rt *RT) Invoke(fr *Frame, m *Method, target Ref, slot int, args ...Word) CallStatus {
+	n := fr.Node
+	mdl := rt.Model
+	if !rt.Cfg.SeqOpt {
+		n.charge(instr.OpCheck, mdl.NameTranslate+mdl.LocalityCheck)
+	}
+	n.Stats.Invokes++
+	if slot == JoinDiscard {
+		fr.joinOut++
+	}
+
+	if int(target.Node) != n.ID {
+		n.Stats.RemoteInvokes++
+		rt.traceEvent(n, uint8(trace.KInvoke), m, 1)
+		rt.sendRequest(n, m, target, args, Cont{Fr: fr, Slot: slot, Node: int32(n.ID)})
+		if fr.Mode == StackMode {
+			return NeedUnwind
+		}
+		return Async
+	}
+	n.Stats.LocalInvokes++
+	rt.traceEvent(n, uint8(trace.KInvoke), m, 0)
+	obj := n.objects[target.Index]
+	if m.Locks && !rt.Cfg.SeqOpt {
+		n.charge(instr.OpCheck, mdl.LockCheck)
+	}
+
+	if rt.Cfg.Hybrid && n.stackDepth < rt.Cfg.MaxStackDepth {
+		if m.Locks && obj.Locked() {
+			// The callee blocks immediately on the lock: create its context
+			// lazily and park it; the caller proceeds as after any fallback.
+			cf := rt.newHeapFrame(n, m, target, args, Cont{Fr: fr, Slot: slot, Node: int32(n.ID)})
+			obj.waiters.push(cf)
+			n.Stats.LockBlocks++
+			if fr.Mode == StackMode {
+				return NeedUnwind
+			}
+			return Async
+		}
+		return rt.stackCall(n, fr, m, obj, target, slot, args)
+	}
+
+	// Parallel (heap-based) invocation.
+	cf := rt.newHeapFrame(n, m, target, args, Cont{Fr: fr, Slot: slot, Node: int32(n.ID)})
+	rt.scheduleOrPark(n, cf)
+	if fr.Mode == StackMode {
+		return NeedUnwind
+	}
+	return Async
+}
+
+// stackCall performs the speculative sequential invocation of m on the
+// (local, lock-free) object obj, on behalf of fr.
+func (rt *RT) stackCall(n *NodeRT, fr *Frame, m *Method, obj *Object, target Ref, slot int, args []Word) CallStatus {
+	mdl := rt.Model
+	n.charge(instr.OpCall, mdl.CCall+mdl.CArgWord*instr.Instr(len(args)))
+	rt.chargeSchema(n, m.Emitted)
+	n.Stats.StackCalls++
+	rt.traceEvent(n, uint8(trace.KStackCall), m, 0)
+
+	cf := n.pool.checkout(m, n, target, args)
+	cf.Mode = StackMode
+	cf.RetCont = Cont{Fr: fr, Slot: slot, Node: int32(n.ID)}
+	cf.CInfo = CallerInfo{CtxExists: fr.promoted}
+	if m.Locks {
+		obj.locked = true
+		cf.lockObj = obj
+	}
+	n.stackDepth++
+	st := m.seq()(rt, cf)
+	n.stackDepth--
+
+	switch st {
+	case Done:
+		rt.complete(n, cf)
+		return OK
+	case Unwound:
+		// The callee fell back. Its lazily-created context now lives in the
+		// heap with our continuation linked into it (the caller-side work of
+		// Figure 6); the caller must in turn revert to its parallel version.
+		n.charge(instr.OpFallback, mdl.LinkCont)
+		if fr.Mode == StackMode {
+			return NeedUnwind
+		}
+		return Async
+	case Forwarded:
+		// The callee passed its reply obligation along. If the forwarding
+		// chain completed synchronously the result has already landed in our
+		// slot ("executing the forwarded continuation completely on the
+		// stack", Section 3.2.3); otherwise we must wait for it.
+		rt.completeForwarded(n, cf)
+		if slot != JoinDiscard && fr.FutFull(slot) {
+			return OK
+		}
+		if slot == JoinDiscard && fr.joinOut == 0 {
+			return OK
+		}
+		if fr.Mode == StackMode {
+			return NeedUnwind
+		}
+		return Async
+	}
+	panic("core: invalid body status")
+}
+
+// chargeSchema charges the sequential calling-convention overhead beyond a
+// plain call (Table 2's 6-8 instruction schema costs).
+func (rt *RT) chargeSchema(n *NodeRT, s Schema) {
+	mdl := rt.Model
+	switch s {
+	case SchemaNB:
+		n.charge(instr.OpSchema, mdl.NBExtra)
+	case SchemaMB:
+		n.charge(instr.OpSchema, mdl.MBExtra+mdl.RetViaMem)
+	case SchemaCP:
+		n.charge(instr.OpSchema, mdl.CPExtra+mdl.RetViaMem)
+	}
+}
+
+// Unwind falls the activation back from the stack into the heap (paper
+// Figure 6, right side): the context is created lazily if it does not yet
+// exist, live state is saved into it, and the context is scheduled so the
+// parallel version resumes at fr.PC. The body must have set fr.PC first.
+func (rt *RT) Unwind(fr *Frame) Status {
+	n := fr.Node
+	if !fr.promoted {
+		rt.promote(n, fr)
+	}
+	fr.Mode = HeapMode
+	n.runq.push(fr)
+	n.charge(instr.OpSched, rt.Model.Enqueue)
+	return Unwound
+}
+
+// promote turns a stack frame into a heap context, charging the fallback
+// cost: context allocation plus saving the live words.
+func (rt *RT) promote(n *NodeRT, fr *Frame) {
+	live := len(fr.Args) + len(fr.Locals)
+	n.charge(instr.OpFallback,
+		rt.Model.CtxAlloc+rt.Model.FallbackBase+rt.Model.FallbackPerWord*instr.Instr(live))
+	fr.promoted = true
+	fr.Mode = HeapMode
+	n.Stats.Fallbacks++
+	// Aux carries the receiver, so traces can localize fallbacks to objects
+	// (e.g. regenerating Figure 9's perimeter picture for SOR).
+	rt.traceEvent(n, uint8(trace.KFallback), fr.M, int64(RefW(fr.Self)))
+}
+
+// newHeapFrame allocates a heap context for a parallel invocation with the
+// given reply continuation, charging allocation and initialization.
+func (rt *RT) newHeapFrame(n *NodeRT, m *Method, target Ref, args []Word, cont Cont) *Frame {
+	n.charge(instr.OpCtx, rt.Model.CtxAlloc+rt.Model.CtxInitWord*instr.Instr(len(args)))
+	cf := n.pool.checkout(m, n, target, args)
+	cf.Mode = HeapMode
+	cf.promoted = true
+	cf.RetCont = cont
+	cf.CInfo = CallerInfo{CtxExists: true}
+	n.Stats.HeapInvokes++
+	rt.traceEvent(n, uint8(trace.KCtxAlloc), m, 0)
+	return cf
+}
+
+// scheduleOrPark enqueues a ready heap context on the run queue.
+func (rt *RT) scheduleOrPark(n *NodeRT, cf *Frame) {
+	n.runq.push(cf)
+	n.charge(instr.OpSched, rt.Model.Enqueue)
+}
+
+// TouchAll synchronizes on the set of future slots in mask (paper
+// Figure 4: "a set of futures are touched at one time to avoid unnecessary
+// restarts"). It returns true if all are determined, letting the body
+// proceed. Otherwise the frame suspends — falling back to the heap first if
+// it was executing on the stack — and the body must `return core.Unwound`.
+func (rt *RT) TouchAll(fr *Frame, mask uint64) bool {
+	n := fr.Node
+	cnt := bits.OnesCount64(mask)
+	n.charge(instr.OpFuture, rt.Model.TouchBase+rt.Model.TouchPerFuture*instr.Instr(cnt))
+	missing := 0
+	for rem := mask; rem != 0; rem &= rem - 1 {
+		if !fr.fut[bits.TrailingZeros64(rem)].Full {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return true
+	}
+	if !fr.promoted {
+		rt.promote(n, fr)
+	}
+	fr.Mode = HeapMode
+	fr.touch = mask
+	fr.join = missing
+	fr.waiting = true
+	n.charge(instr.OpFuture, rt.Model.SuspendSave)
+	n.Stats.Suspends++
+	rt.traceEvent(n, uint8(trace.KSuspend), fr.M, int64(missing))
+	return false
+}
+
+// TouchJoin synchronizes on all outstanding JoinDiscard replies (wide
+// joins: parallel loops, barriers). Semantics as TouchAll.
+func (rt *RT) TouchJoin(fr *Frame) bool {
+	n := fr.Node
+	n.charge(instr.OpFuture, rt.Model.TouchBase)
+	if fr.joinOut == 0 {
+		return true
+	}
+	if !fr.promoted {
+		rt.promote(n, fr)
+	}
+	fr.Mode = HeapMode
+	fr.touch = 0
+	fr.waiting = true
+	n.charge(instr.OpFuture, rt.Model.SuspendSave)
+	n.Stats.Suspends++
+	rt.traceEvent(n, uint8(trace.KSuspend), fr.M, int64(fr.joinOut))
+	return false
+}
+
+// Reply determines the activation's result: the value is delivered through
+// its return continuation (directly for a stack caller, through a future
+// fill locally, or via a reply message across nodes). Bodies call Reply
+// exactly once and then return Done.
+func (rt *RT) Reply(fr *Frame, val Word) {
+	if fr.captured {
+		panic(fmt.Sprintf("core: %s replied after capturing its continuation", fr.M.Name))
+	}
+	rt.traceEvent(fr.Node, uint8(trace.KReply), fr.M, 0)
+	rt.DeliverCont(fr.Node, fr.RetCont, val, fr.Mode == StackMode)
+}
+
+// ForwardTail forwards the activation's reply obligation to method m on
+// target, as the activation's final action (paper Section 3.2.3 and the
+// "forwarded messages executed on the stack" mechanism). The body must
+// `return rt.ForwardTail(...)` — the result is Done if the forwarding chain
+// completed synchronously on the stack, Forwarded otherwise.
+func (rt *RT) ForwardTail(fr *Frame, m *Method, target Ref, args ...Word) Status {
+	n := fr.Node
+	mdl := rt.Model
+	if !rt.Cfg.SeqOpt {
+		n.charge(instr.OpCheck, mdl.NameTranslate+mdl.LocalityCheck)
+	}
+	n.Stats.Invokes++
+	if fr.captured {
+		panic(fmt.Sprintf("core: %s forwarded after capturing its continuation", fr.M.Name))
+	}
+	cont := fr.RetCont
+	fr.captured = true
+
+	if int(target.Node) != n.ID {
+		// Forwarding off-node requires the continuation to actually exist
+		// (Section 3.2.3): materialize it per caller_info, then ship it.
+		n.Stats.RemoteInvokes++
+		rt.materializeCont(n, fr, cont)
+		rt.sendRequest(n, m, target, args, cont)
+		return Forwarded
+	}
+	n.Stats.LocalInvokes++
+	obj := n.objects[target.Index]
+	if m.Locks && !rt.Cfg.SeqOpt {
+		n.charge(instr.OpCheck, mdl.LockCheck)
+	}
+
+	if rt.Cfg.Hybrid && n.stackDepth < rt.Cfg.MaxStackDepth {
+		if m.Locks && obj.Locked() {
+			cf := rt.newHeapFrame(n, m, target, args, cont)
+			obj.waiters.push(cf)
+			n.Stats.LockBlocks++
+			return Forwarded
+		}
+		// Local forward: pass return_val_ptr and caller_info along on the
+		// stack; the chain's root will find the result in return_val.
+		n.charge(instr.OpCall, mdl.CCall+mdl.CArgWord*instr.Instr(len(args)))
+		rt.chargeSchema(n, SchemaCP)
+		n.Stats.StackCalls++
+
+		cf := n.pool.checkout(m, n, target, args)
+		cf.Mode = StackMode
+		cf.RetCont = cont
+		cf.CInfo = fr.CInfo // caller_info is simply passed along
+		if m.Locks {
+			obj.locked = true
+			cf.lockObj = obj
+		}
+		n.stackDepth++
+		st := m.seq()(rt, cf)
+		n.stackDepth--
+		switch st {
+		case Done:
+			// The whole forwarded chain completed synchronously: our reply
+			// obligation is discharged, so this activation finishes normally.
+			rt.complete(n, cf)
+			fr.captured = false
+			return Done
+		case Unwound:
+			n.charge(instr.OpFallback, mdl.LinkCont)
+			return Forwarded
+		case Forwarded:
+			rt.completeForwarded(n, cf)
+			return Forwarded
+		}
+		panic("core: invalid body status")
+	}
+	// Parallel path: heap context carries the continuation.
+	cf := rt.newHeapFrame(n, m, target, args, cont)
+	rt.scheduleOrPark(n, cf)
+	return Forwarded
+}
+
+// CaptureCont explicitly captures the activation's continuation as a
+// first-class value (to store in a data structure, as user-defined
+// synchronization structures like barriers do). The continuation is
+// materialized lazily per caller_info; the body must eventually cause it to
+// be determined (DeliverCont) and must return Forwarded, not Done.
+func (rt *RT) CaptureCont(fr *Frame) Cont {
+	cont := fr.RetCont
+	rt.materializeCont(fr.Node, fr, cont)
+	fr.captured = true
+	return cont
+}
+
+// materializeCont charges the lazy continuation-creation cases of
+// Section 3.2.3, promoting the frame that holds the future if its context
+// does not exist yet:
+//
+//  1. the continuation was forwarded in: context and continuation exist —
+//     extract it (the proxy-context path);
+//  2. the context exists but the continuation was implicit — create it;
+//  3. neither exists — create the context from caller_info's size, then
+//     the continuation.
+func (rt *RT) materializeCont(n *NodeRT, fr *Frame, cont Cont) {
+	mdl := rt.Model
+	switch {
+	case cont.Root != nil || cont.Fr == nil:
+		// Already first-class (root sink) or discarded: nothing to create.
+	case fr.CInfo.Forwarded:
+		n.charge(instr.OpFuture, mdl.ContExtract)
+	case cont.Fr.promoted:
+		n.charge(instr.OpFuture, mdl.ContCreate)
+	default:
+		rt.promote(n, cont.Fr)
+		n.charge(instr.OpFuture, mdl.ContCreate)
+	}
+}
+
+// DeliverCont determines a first-class continuation with val, from node n.
+// It is the runtime path behind Reply and the public path for captured
+// continuations.
+func (rt *RT) DeliverCont(n *NodeRT, c Cont, val Word, viaStack bool) {
+	if c.Root != nil {
+		c.Root.Val = val
+		c.Root.Done = true
+		return
+	}
+	if c.Fr == nil {
+		return // discarded result (purely reactive computation)
+	}
+	if int(c.Node) == n.ID {
+		rt.deliverLocal(n, c, val, viaStack)
+		return
+	}
+	rt.sendReply(n, c, val)
+}
+
+// deliverLocal fills the continuation's future on its home node, waking the
+// owning context if its touch set is now satisfied.
+func (rt *RT) deliverLocal(n *NodeRT, c Cont, val Word, viaStack bool) {
+	mdl := rt.Model
+	if viaStack {
+		// Stack calling conventions return the value through memory.
+		n.charge(instr.OpSchema, mdl.RetViaMem)
+	} else {
+		n.charge(instr.OpFuture, mdl.FutureFill)
+	}
+	tf := c.Fr
+	if c.Slot == JoinDiscard {
+		tf.joinOut--
+		if tf.joinOut < 0 {
+			panic("core: join reply with no outstanding join")
+		}
+		if tf.waiting && tf.touch == 0 && tf.joinOut == 0 {
+			rt.wakeFrame(n, tf)
+		}
+		return
+	}
+	cell := &tf.fut[c.Slot]
+	if cell.Full {
+		panic(fmt.Sprintf("core: future %s[%d] determined twice", tf.M.Name, c.Slot))
+	}
+	cell.Val = val
+	cell.Full = true
+	if tf.waiting && tf.touch&(1<<uint(c.Slot)) != 0 {
+		tf.join--
+		if tf.join == 0 {
+			rt.wakeFrame(n, tf)
+		}
+	}
+}
+
+// wakeFrame moves a satisfied context back onto the run queue.
+func (rt *RT) wakeFrame(n *NodeRT, fr *Frame) {
+	fr.waiting = false
+	fr.touch = 0
+	n.runq.push(fr)
+	n.charge(instr.OpSched, rt.Model.Enqueue)
+	rt.traceEvent(n, uint8(trace.KWake), fr.M, 0)
+}
+
+// Work charges useful application work to the running activation's node.
+func (rt *RT) Work(fr *Frame, cost instr.Instr) {
+	fr.Node.charge(instr.OpWork, cost)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"repro/internal/instr"
+	"repro/internal/trace"
+)
+
+// Msg is an active message: a request to run a method on a target object
+// (carrying the continuation for the result), or a reply determining a
+// continuation. The simulator is single-address-space, so messages carry
+// pointers, but all serialization and transport costs are charged per the
+// machine model and remote state is only ever touched by its owner.
+type Msg struct {
+	method *Method
+	target Ref
+	args   []Word
+	cont   Cont
+
+	reply bool
+	val   Word
+
+	next *Msg
+}
+
+// words returns the modeled payload size in words: header (method id,
+// target, continuation) plus arguments.
+func (m *Msg) words() int {
+	if m.reply {
+		return 2 // continuation + value: a single packet
+	}
+	return 4 + len(m.args)
+}
+
+// msgQueue is a FIFO of messages.
+type msgQueue struct {
+	head, tail *Msg
+	n          int
+}
+
+func (q *msgQueue) push(m *Msg) {
+	m.next = nil
+	if q.tail == nil {
+		q.head = m
+	} else {
+		q.tail.next = m
+	}
+	q.tail = m
+	q.n++
+}
+
+func (q *msgQueue) pop() *Msg {
+	m := q.head
+	if m == nil {
+		return nil
+	}
+	q.head = m.next
+	if q.head == nil {
+		q.tail = nil
+	}
+	m.next = nil
+	q.n--
+	return m
+}
+
+// sendRequest transmits a method invocation to the target's owner. The
+// sender pays injection overhead; the receiver pays handler overhead on
+// arrival (in handleMsg).
+func (rt *RT) sendRequest(from *NodeRT, m *Method, target Ref, args []Word, cont Cont) {
+	msg := &Msg{method: m, target: target, args: append([]Word(nil), args...), cont: cont}
+	w := msg.words()
+	from.charge(instr.OpMsg, rt.Model.MsgSendBase+rt.Model.MsgPerWord*instr.Instr(w))
+	rt.traceEvent(from, uint8(trace.KMsgSend), m, int64(w))
+	to := rt.Nodes[target.Node]
+	lat := rt.Model.NetLatency + rt.Model.NetPerWord*instr.Instr(w)
+	rt.Eng.Send(from.Sim, to.Sim, lat, w, func() { to.inbox.push(msg) })
+}
+
+// sendReply transmits a value determining a remote continuation.
+func (rt *RT) sendReply(from *NodeRT, cont Cont, val Word) {
+	msg := &Msg{reply: true, cont: cont, val: val}
+	from.charge(instr.OpMsg, rt.Model.ReplySend)
+	from.Stats.Replies++
+	rt.traceEvent(from, uint8(trace.KMsgSend), nil, int64(msg.words()))
+	to := rt.Nodes[cont.Node]
+	rt.Eng.Send(from.Sim, to.Sim, rt.Model.ReplyLatency, msg.words(), func() { to.inbox.push(msg) })
+}
+
+// handleMsg processes one arrived message on node n. For requests under the
+// hybrid model with wrappers enabled, the stack version of the method is
+// executed directly from the message buffer (Section 3.3) — "a remote
+// message can be processed entirely on the stack". Otherwise a heap context
+// is allocated and scheduled, which is what the parallel-only baseline
+// always does.
+func (rt *RT) handleMsg(n *NodeRT, msg *Msg) {
+	mdl := rt.Model
+	if msg.reply {
+		n.charge(instr.OpMsg, mdl.ReplyRecv)
+		rt.deliverLocal(n, msg.cont, msg.val, false)
+		return
+	}
+	m := msg.method
+	n.charge(instr.OpMsg, mdl.MsgRecvBase+mdl.MsgPerWord*instr.Instr(msg.words()))
+	rt.traceEvent(n, uint8(trace.KMsgRecv), m, int64(msg.words()))
+
+	if rt.Cfg.Hybrid && rt.Cfg.Wrappers {
+		rt.runWrapper(n, m, msg)
+		return
+	}
+	// Parallel-only path: allocate and schedule a heap context.
+	cf := rt.newHeapFrame(n, m, msg.target, msg.args, msg.cont)
+	rt.scheduleOrPark(n, cf)
+}
+
+// runWrapper executes an arrived request through the schema-specific
+// wrapper (Figure 8): the stack version runs straight out of the buffer,
+// with the message's continuation standing in for the caller:
+//
+//   - NB: the body runs and its reply (if any — reactive computations may
+//     not produce one) is passed to the waiting future via the continuation;
+//   - MB: additionally, if the method blocks, the continuation is placed in
+//     the lazily-created callee context;
+//   - CP: a proxy context supplies caller_info saying the context exists
+//     and the continuation was forwarded, so lazy capture just extracts it.
+func (rt *RT) runWrapper(n *NodeRT, m *Method, msg *Msg) {
+	obj := n.objects[msg.target.Index]
+	if m.Locks {
+		n.charge(instr.OpCheck, rt.Model.LockCheck)
+		if obj.Locked() {
+			// Cannot run from the buffer: park a heap context on the lock.
+			cf := rt.newHeapFrame(n, m, msg.target, msg.args, msg.cont)
+			obj.waiters.push(cf)
+			n.Stats.LockBlocks++
+			return
+		}
+	}
+	n.Stats.WrapperRuns++
+	rt.traceEvent(n, uint8(trace.KWrapper), m, 0)
+	n.charge(instr.OpCall, rt.Model.CCall+rt.Model.CArgWord*instr.Instr(len(msg.args)))
+	rt.chargeSchema(n, m.Emitted)
+
+	cf := n.pool.checkout(m, n, msg.target, msg.args)
+	cf.Mode = StackMode
+	cf.RetCont = msg.cont
+	cf.CInfo = CallerInfo{CtxExists: true, Forwarded: true} // proxy context
+	if m.Locks {
+		obj.locked = true
+		cf.lockObj = obj
+	}
+	n.stackDepth++
+	st := m.seq()(rt, cf)
+	n.stackDepth--
+	switch st {
+	case Done:
+		rt.complete(n, cf)
+	case Unwound:
+		// MB wrapper case: the continuation is (already) linked into the
+		// callee's lazily-created context.
+		n.charge(instr.OpFallback, rt.Model.LinkCont)
+	case Forwarded:
+		rt.completeForwarded(n, cf)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/instr"
+	"repro/internal/sim"
+)
+
+// NodeRT is the per-node runtime state: the object table, the run queue of
+// ready heap contexts, the inbox of arrived messages, and the frame pool.
+type NodeRT struct {
+	ID  int
+	Sim *sim.Node
+	rt  *RT
+
+	objects []*Object
+	inbox   msgQueue
+	runq    frameQueue
+	pool    framePool
+
+	// stackDepth tracks current speculative-inlining depth.
+	stackDepth int
+
+	Stats NodeStats
+}
+
+// NodeStats counts execution-model events on one node; the experiment
+// harnesses report these (e.g. the local:remote invocation ratios of
+// Tables 4-6 and the context-creation counts behind Figure 9).
+type NodeStats struct {
+	Invokes       int64 // all method invocations issued from this node
+	LocalInvokes  int64 // target object was local
+	RemoteInvokes int64 // target object was remote (request sent)
+	StackCalls    int64 // speculative sequential (stack) executions begun
+	HeapInvokes   int64 // heap contexts created for parallel invocations
+	Fallbacks     int64 // stack invocations unwound into the heap
+	Suspends      int64 // touches that failed and suspended
+	LockBlocks    int64 // invocations parked on an object lock
+	WrapperRuns   int64 // messages executed directly from the buffer
+	Replies       int64 // reply messages sent
+}
+
+// add accumulates other into s.
+func (s *NodeStats) add(other *NodeStats) {
+	s.Invokes += other.Invokes
+	s.LocalInvokes += other.LocalInvokes
+	s.RemoteInvokes += other.RemoteInvokes
+	s.StackCalls += other.StackCalls
+	s.HeapInvokes += other.HeapInvokes
+	s.Fallbacks += other.Fallbacks
+	s.Suspends += other.Suspends
+	s.LockBlocks += other.LockBlocks
+	s.WrapperRuns += other.WrapperRuns
+	s.Replies += other.Replies
+}
+
+// NewObject installs state as a new object on this node and returns its
+// global reference.
+func (n *NodeRT) NewObject(state any) Ref {
+	ref := Ref{Node: int32(n.ID), Index: int32(len(n.objects))}
+	n.objects = append(n.objects, &Object{Ref: ref, State: state})
+	return ref
+}
+
+// Object returns the local object for ref; it panics if ref is not owned by
+// this node — remote state is never touched directly.
+func (n *NodeRT) Object(ref Ref) *Object {
+	if int(ref.Node) != n.ID {
+		panic("core: direct access to a remote object")
+	}
+	return n.objects[ref.Index]
+}
+
+// State returns the application state of a local object.
+func (n *NodeRT) State(ref Ref) any { return n.Object(ref).State }
+
+// LiveFrames returns the number of checked-out frames on this node.
+func (n *NodeRT) LiveFrames() int64 { return n.pool.Live }
+
+// charge advances this node's clock by cost, accounted under op.
+func (n *NodeRT) charge(op instr.Op, cost instr.Instr) {
+	sim.Charge(n.Sim, op, cost)
+}

@@ -1,0 +1,43 @@
+package core
+
+// Object is one program object: application state owned by exactly one
+// node, reachable machine-wide through its Ref. Method invocations execute
+// on the owner (the owner-computes rule); the runtime performs the name
+// translation and locality checks.
+type Object struct {
+	Ref Ref
+	// State is the application-defined node-local state. Only code running
+	// on the owning node may touch it.
+	State any
+
+	// locked implements the implicit object lock: held while a locking
+	// method's activation is live (including across suspension).
+	locked bool
+	// waiters are activations parked on the lock, FIFO.
+	waiters frameQueue
+}
+
+// Locked reports whether the object's lock is currently held.
+func (o *Object) Locked() bool { return o.locked }
+
+// tryLock acquires the lock if free.
+func (o *Object) tryLock() bool {
+	if o.locked {
+		return false
+	}
+	o.locked = true
+	return true
+}
+
+// unlock releases the lock and returns the next parked activation to run,
+// if any. The caller transfers the lock to it.
+func (o *Object) unlock() *Frame {
+	if !o.locked {
+		panic("core: unlock of unlocked object")
+	}
+	next := o.waiters.pop()
+	if next == nil {
+		o.locked = false
+	}
+	return next
+}

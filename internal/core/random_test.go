@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// The randomized harness generates arbitrary fine-grained programs — random
+// call trees with random fan-out, random method kinds (combining, tail-
+// forwarding, locking leaves) and random object placement across nodes —
+// executes them under several execution-model configurations, and checks
+// the result against a direct recursive evaluation. This exercises the
+// interleaving space (speculation, fallback, wrappers, forwarding,
+// suspension, lock parking) far beyond the hand-written tests.
+
+type randProgram struct {
+	prog    *Program
+	methods []*Method
+	kinds   []int // 0 leaf, 1 combine, 2 forward, 3 locking leaf
+	fanout  []int
+	targets []uint64 // per method: target-selection mix constant
+	nObjs   int
+}
+
+const (
+	rkLeaf = iota
+	rkCombine
+	rkForward
+	rkLockLeaf
+)
+
+// genProgram builds a random program of 3-8 methods. Method bodies are pure
+// functions of (depth, x) plus their callees' results, so a reference value
+// is computable directly.
+func genProgram(rng *rand.Rand) *randProgram {
+	rp := &randProgram{prog: NewProgram(), nObjs: 1 + rng.Intn(6)}
+	n := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		kind := rkLeaf
+		switch r := rng.Intn(10); {
+		case i == 0 || r < 4:
+			kind = rkCombine
+		case r < 6:
+			kind = rkForward
+		case r < 8:
+			kind = rkLeaf
+		default:
+			kind = rkLockLeaf
+		}
+		rp.kinds = append(rp.kinds, kind)
+		rp.fanout = append(rp.fanout, 1+rng.Intn(3))
+		rp.targets = append(rp.targets, rng.Uint64()|1)
+	}
+
+	for i := 0; i < n; i++ {
+		i := i
+		kind := rp.kinds[i]
+		m := &Method{Name: "rand" + string(rune('A'+i)), NArgs: 2}
+		switch kind {
+		case rkLeaf:
+			m.Body = rp.leafBody(i)
+		case rkLockLeaf:
+			m.Locks = true
+			m.Body = rp.leafBody(i)
+		case rkForward:
+			m.Captures = true
+			m.Body = rp.forwardBody(i)
+		case rkCombine:
+			m.NFutures = rp.fanout[i]
+			m.NLocals = 1
+			m.MayBlockLocal = true
+			m.Body = rp.combineBody(i)
+		}
+		rp.methods = append(rp.methods, m)
+		rp.prog.Add(m)
+	}
+	// Call edges: combine methods call (depth-dependent) children; forward
+	// methods forward to their successor. Conservatively register all
+	// possible callees.
+	for i, m := range rp.methods {
+		switch rp.kinds[i] {
+		case rkCombine:
+			m.Calls = append([]*Method{}, rp.methods...)
+		case rkForward:
+			m.Forwards = []*Method{rp.methods[rp.next(i)]}
+		}
+	}
+	return rp
+}
+
+// next deterministically picks the method a forwarder hands off to.
+func (rp *randProgram) next(i int) int { return (i + 1) % len(rp.methods) }
+
+// childMethod picks the j-th callee of method i at (depth, x).
+func (rp *randProgram) childMethod(i, j int, depth, x int64) int {
+	h := rp.targets[i] * uint64(depth*131+x*31+int64(j)*17+int64(i)*7+1)
+	return int(h>>32) % len(rp.methods)
+}
+
+// childObj picks the target object of the j-th callee.
+func (rp *randProgram) childObj(i, j int, depth, x int64) int {
+	h := rp.targets[i] * uint64(depth*29+x*13+int64(j)*5+3)
+	return int(h>>33) % rp.nObjs
+}
+
+func leafVal(i int, depth, x int64) int64 {
+	return x*int64(i+3) + depth*7 + 11
+}
+
+func (rp *randProgram) leafBody(i int) BodyFunc {
+	return func(rt *RT, fr *Frame) Status {
+		rt.Work(fr, 3)
+		rt.Reply(fr, IntW(leafVal(i, fr.Arg(0).Int(), fr.Arg(1).Int())))
+		return Done
+	}
+}
+
+func (rp *randProgram) forwardBody(i int) BodyFunc {
+	return func(rt *RT, fr *Frame) Status {
+		depth, x := fr.Arg(0).Int(), fr.Arg(1).Int()
+		if depth == 0 {
+			rt.Reply(fr, IntW(leafVal(i, depth, x)))
+			return Done
+		}
+		tgt := rp.objRef(fr.Node.rt, rp.childObj(i, 0, depth, x))
+		return rt.ForwardTail(fr, rp.methods[rp.next(i)], tgt, IntW(depth-1), IntW(x+5))
+	}
+}
+
+func (rp *randProgram) combineBody(i int) BodyFunc {
+	return func(rt *RT, fr *Frame) Status {
+		depth, x := fr.Arg(0).Int(), fr.Arg(1).Int()
+		if depth == 0 {
+			rt.Reply(fr, IntW(leafVal(i, depth, x)))
+			return Done
+		}
+		k := rp.fanout[i]
+		switch fr.PC {
+		case 0:
+			fr.PC = 1
+			fallthrough
+		case 1:
+			for {
+				j := int(fr.Local(0).Int())
+				if j >= k {
+					break
+				}
+				fr.SetLocal(0, IntW(int64(j+1)))
+				cm := rp.childMethod(i, j, depth, x)
+				tgt := rp.objRef(fr.Node.rt, rp.childObj(i, j, depth, x))
+				st := rt.Invoke(fr, rp.methods[cm], tgt, j, IntW(depth-1), IntW(x+int64(j)))
+				if st == NeedUnwind {
+					return rt.Unwind(fr)
+				}
+			}
+			fr.PC = 2
+			fallthrough
+		case 2:
+			if !rt.TouchAll(fr, MaskRange(0, k)) {
+				return Unwound
+			}
+			sum := int64(i)
+			for j := 0; j < k; j++ {
+				sum += fr.Fut(j).Int() * int64(j+1)
+			}
+			rt.Work(fr, 4)
+			rt.Reply(fr, IntW(sum))
+			return Done
+		}
+		panic("combine: bad pc")
+	}
+}
+
+// objRef maps a logical object index to its placed Ref (stored per RT in
+// node 0's first object's state).
+func (rp *randProgram) objRef(rt *RT, obj int) Ref {
+	refs := rt.Nodes[0].objects[0].State.([]Ref)
+	return refs[obj]
+}
+
+// reference computes the expected result directly.
+func (rp *randProgram) reference(i int, depth, x int64) int64 {
+	switch rp.kinds[i] {
+	case rkLeaf, rkLockLeaf:
+		return leafVal(i, depth, x)
+	case rkForward:
+		if depth == 0 {
+			return leafVal(i, depth, x)
+		}
+		return rp.reference(rp.next(i), depth-1, x+5)
+	default: // combine
+		if depth == 0 {
+			return leafVal(i, depth, x)
+		}
+		sum := int64(i)
+		for j := 0; j < rp.fanout[i]; j++ {
+			cm := rp.childMethod(i, j, depth, x)
+			sum += rp.reference(cm, depth-1, x+int64(j)) * int64(j+1)
+		}
+		return sum
+	}
+}
+
+// execute runs method 0 at the given depth on a machine with the given
+// placement and config, returning the result and the runtime for invariant
+// checks.
+func (rp *randProgram) execute(t *testing.T, cfg Config, nodes int, placeSeed int64, depth int64) (int64, *RT) {
+	t.Helper()
+	eng := sim.NewEngine(nodes)
+	rt := NewRT(eng, machine.CM5(), rp.prog, cfg)
+	placeRng := rand.New(rand.NewSource(placeSeed))
+	refs := make([]Ref, rp.nObjs)
+	holder := rt.Node(0).NewObject(refs) // objects[0]: the ref table
+	_ = holder
+	for o := 0; o < rp.nObjs; o++ {
+		refs[o] = rt.Node(placeRng.Intn(nodes)).NewObject(nil)
+	}
+	var res Result
+	root := refs[0]
+	rt.StartOn(int(root.Node), rp.methods[0], root, &res, IntW(depth), IntW(1))
+	rt.Run()
+	if !res.Done {
+		t.Fatalf("random program did not complete (seed program %v)", rp.kinds)
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatalf("random program not quiescent: %v", err)
+	}
+	return res.Val.Int(), rt
+}
+
+// TestQuickRandomPrograms is the main property: for random programs,
+// placements and configurations, the distributed hybrid execution computes
+// exactly the reference value, with no leaked frames, and hybrid and
+// parallel-only agree.
+func TestQuickRandomPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rp := genProgram(rng)
+		if err := rp.prog.Resolve(Interfaces3); err != nil {
+			t.Logf("resolve failed: %v", err)
+			return false
+		}
+		depth := int64(2 + rng.Intn(3))
+		nodes := 1 + rng.Intn(4)
+		want := rp.reference(0, depth, 1)
+
+		got, _ := rp.execute(t, DefaultHybrid(), nodes, seed+1, depth)
+		if got != want {
+			t.Logf("hybrid: got %d want %d (seed %d)", got, want, seed)
+			return false
+		}
+		gotPar, _ := rp.execute(t, ParallelOnly(), nodes, seed+1, depth)
+		if gotPar != want {
+			t.Logf("parallel: got %d want %d (seed %d)", gotPar, want, seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomInterfaceSets: restricted interface sets change cost, not
+// semantics.
+func TestQuickRandomInterfaceSets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rp := genProgram(rng)
+		depth := int64(2 + rng.Intn(2))
+		nodes := 2 + rng.Intn(3)
+		want := rp.reference(0, depth, 1)
+		for _, set := range []SchemaSet{Interfaces1, Interfaces2, Interfaces3} {
+			if err := rp.prog.Resolve(set); err != nil {
+				return false
+			}
+			cfg := DefaultHybrid()
+			cfg.Interfaces = set
+			got, _ := rp.execute(t, cfg, nodes, seed+2, depth)
+			if got != want {
+				t.Logf("set %b: got %d want %d (seed %d)", set, got, want, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomDeterminism: identical runs yield identical virtual clocks
+// and statistics.
+func TestQuickRandomDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rp := genProgram(rng)
+		if err := rp.prog.Resolve(Interfaces3); err != nil {
+			return false
+		}
+		depth := int64(3)
+		_, rt1 := rp.execute(t, DefaultHybrid(), 3, seed, depth)
+		_, rt2 := rp.execute(t, DefaultHybrid(), 3, seed, depth)
+		return rt1.Eng.MaxClock() == rt2.Eng.MaxClock() &&
+			rt1.TotalStats() == rt2.TotalStats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

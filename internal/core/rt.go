@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// RT is the runtime for one simulated machine: it owns the per-node runtime
+// state and implements sim.Runner, executing message handlers and ready
+// contexts as the engine pumps nodes.
+type RT struct {
+	Eng   *sim.Engine
+	Model *machine.Model
+	Cfg   Config
+	Prog  *Program
+	Nodes []*NodeRT
+}
+
+// NewRT builds a runtime over eng with the given machine model, resolved
+// program, and execution-model configuration, and installs itself as the
+// engine's runner.
+func NewRT(eng *sim.Engine, mdl *machine.Model, prog *Program, cfg Config) *RT {
+	if cfg.MaxStackDepth <= 0 {
+		cfg.MaxStackDepth = 1024
+	}
+	rt := &RT{Eng: eng, Model: mdl, Cfg: cfg, Prog: prog}
+	rt.Nodes = make([]*NodeRT, eng.NumNodes())
+	for i := range rt.Nodes {
+		rt.Nodes[i] = &NodeRT{ID: i, Sim: eng.Node(i), rt: rt}
+	}
+	eng.SetRunner(rt)
+	return rt
+}
+
+// Node returns the runtime state of node i.
+func (rt *RT) Node(i int) *NodeRT { return rt.Nodes[i] }
+
+// StartOn seeds a root invocation of m on target (which must live on node
+// `node`), directing the result to res. Call before Run; multiple roots may
+// be started.
+func (rt *RT) StartOn(node int, m *Method, target Ref, res *Result, args ...Word) {
+	if int(target.Node) != node {
+		panic("core: StartOn node does not own target")
+	}
+	n := rt.Nodes[node]
+	cf := rt.newHeapFrame(n, m, target, args, Cont{Root: res})
+	rt.scheduleOrPark(n, cf)
+	rt.Eng.Wake(n.Sim)
+}
+
+// Run drives the simulation to quiescence and returns the parallel
+// completion time (the maximum node clock).
+func (rt *RT) Run() sim.Time {
+	rt.Eng.Run()
+	return rt.Eng.MaxClock()
+}
+
+// RunOne implements sim.Runner: messages are drained before ready contexts,
+// so message handlers (and wrappers) interleave with computation, which is
+// what masks latency.
+func (rt *RT) RunOne(sn *sim.Node) bool {
+	n := rt.Nodes[sn.ID]
+	if msg := n.inbox.pop(); msg != nil {
+		rt.handleMsg(n, msg)
+		return true
+	}
+	if fr := n.runq.pop(); fr != nil {
+		rt.runContext(n, fr)
+		return true
+	}
+	return false
+}
+
+// LiveFrames returns the machine-wide count of live activation frames; at
+// quiescence it must be zero (the context-leak invariant).
+func (rt *RT) LiveFrames() int64 {
+	var total int64
+	for _, n := range rt.Nodes {
+		total += n.pool.Live
+	}
+	return total
+}
+
+// CheckQuiescence verifies that the machine reached a clean stop: no live
+// frames, no queued work. It returns a diagnostic error otherwise (a
+// deadlocked program: contexts waiting on futures that will never fill).
+func (rt *RT) CheckQuiescence() error {
+	for _, n := range rt.Nodes {
+		if n.pool.Live != 0 || !n.runq.empty() || n.inbox.n != 0 {
+			return fmt.Errorf("core: node %d not quiescent: %d live frames, %d runnable, %d messages",
+				n.ID, n.pool.Live, n.runq.len(), n.inbox.n)
+		}
+	}
+	return nil
+}
+
+// traceEvent reports one event to the configured tracer, if any.
+func (rt *RT) traceEvent(n *NodeRT, kind uint8, m *Method, aux int64) {
+	if rt.Cfg.Tracer == nil {
+		return
+	}
+	name := ""
+	if m != nil {
+		name = m.Name
+	}
+	rt.Cfg.Tracer.Record(n.ID, n.Sim.Clock, kind, name, aux)
+}
+
+// TotalStats aggregates the per-node execution statistics.
+func (rt *RT) TotalStats() NodeStats {
+	var s NodeStats
+	for _, n := range rt.Nodes {
+		s.add(&n.Stats)
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/instr"
+	"repro/internal/trace"
+)
+
+// runContext dispatches one ready heap context: it acquires the target
+// object's lock if the method requires one (parking the context if the lock
+// is held), runs the parallel version of the body from fr.PC, and retires
+// the frame on completion.
+func (rt *RT) runContext(n *NodeRT, fr *Frame) {
+	n.charge(instr.OpSched, rt.Model.Dequeue)
+	m := fr.M
+	if m.Locks && fr.lockObj == nil {
+		obj := n.objects[fr.Self.Index]
+		if !obj.tryLock() {
+			obj.waiters.push(fr)
+			n.Stats.LockBlocks++
+			return
+		}
+		fr.lockObj = obj
+	}
+	n.charge(instr.OpCall, rt.Model.CCall)
+	st := m.Body(rt, fr)
+	switch st {
+	case Done:
+		rt.complete(n, fr)
+	case Unwound:
+		// The frame parked itself (waiting on futures, re-enqueued, or on a
+		// lock queue); nothing to do here.
+	case Forwarded:
+		rt.completeForwarded(n, fr)
+	default:
+		panic(fmt.Sprintf("core: %s returned invalid status %d", m.Name, st))
+	}
+}
+
+// complete retires a finished activation: the object lock is released
+// (transferring it to the next waiter, which becomes runnable), and the
+// frame returns to the pool. Heap contexts additionally pay reclamation.
+func (rt *RT) complete(n *NodeRT, fr *Frame) {
+	if fr.captured {
+		panic(fmt.Sprintf("core: %s completed normally after capturing its continuation", fr.M.Name))
+	}
+	rt.retire(n, fr)
+}
+
+// completeForwarded retires an activation whose reply obligation moved
+// elsewhere.
+func (rt *RT) completeForwarded(n *NodeRT, fr *Frame) {
+	rt.retire(n, fr)
+}
+
+func (rt *RT) retire(n *NodeRT, fr *Frame) {
+	rt.traceEvent(n, uint8(trace.KComplete), fr.M, 0)
+	if fr.lockObj != nil {
+		next := fr.lockObj.unlock()
+		if next != nil {
+			// Transfer the lock to the next parked activation and schedule it.
+			next.lockObj = fr.lockObj
+			rt.scheduleOrPark(n, next)
+		}
+		fr.lockObj = nil
+	}
+	if fr.promoted {
+		n.charge(instr.OpCtx, rt.Model.CtxFree)
+	}
+	n.pool.release(fr)
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestDeepForwardChainAcrossNodes: a 2000-hop forwarded chain bouncing
+// between two nodes; the reply must come straight back to the root, with
+// chain frames never accumulating (each hop retires after forwarding).
+func TestDeepForwardChainAcrossNodes(t *testing.T) {
+	p := NewProgram()
+	hop := &Method{Name: "st.hop", NArgs: 3, Captures: true}
+	hop.Body = func(rt *RT, fr *Frame) Status {
+		k := fr.Arg(0).Int()
+		if k == 0 {
+			rt.Reply(fr, fr.Arg(1))
+			return Done
+		}
+		// Alternate between our node's peer object and the other node's.
+		next := fr.Arg(2).Ref()
+		return rt.ForwardTail(fr, hop, next,
+			IntW(k-1), IntW(fr.Arg(1).Int()+1), RefW(fr.Self))
+	}
+	hop.Forwards = []*Method{hop}
+	p.Add(hop)
+	root := mkCaller(p, "st.root", hop)
+	_ = root
+	// mkCaller passes (targetRef, arg); build a custom root for 3 args.
+	start := &Method{Name: "st.start", NArgs: 2, NFutures: 1, MayBlockLocal: true, Calls: []*Method{hop}}
+	start.Body = func(rt *RT, fr *Frame) Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, hop, fr.Arg(0).Ref(), 0,
+				IntW(2000), IntW(0), fr.Arg(1))
+			fr.PC = 1
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, Mask(0)) {
+				return Unwound
+			}
+			rt.Reply(fr, fr.Fut(0))
+			return Done
+		}
+		panic("bad pc")
+	}
+	p.Add(start)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(2)
+	rt := NewRT(eng, machine.T3D(), p, DefaultHybrid())
+	a := rt.Node(0).NewObject(nil)
+	b := rt.Node(1).NewObject(nil)
+	d := rt.Node(0).NewObject(nil)
+	var res Result
+	rt.StartOn(0, start, d, &res, RefW(a), RefW(b))
+	rt.Run()
+	if !res.Done || res.Val.Int() != 2000 {
+		t.Fatalf("chain result %v done=%v, want 2000", res.Val.Int(), res.Done)
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	// Each remote hop is one message; plus the final reply.
+	if msgs := eng.TotalMessages(); msgs < 2000 || msgs > 2010 {
+		t.Fatalf("messages = %d, want ~2001", msgs)
+	}
+}
+
+// TestWideJoin: one coordinator joins 20000 children spread over the
+// machine — the counted-join path at scale.
+func TestWideJoin(t *testing.T) {
+	p := NewProgram()
+	leaf := mkEcho(p, "st.leaf")
+	wide := &Method{Name: "st.wide", NArgs: 2, NLocals: 1, MayBlockLocal: true, Calls: []*Method{leaf}}
+	wide.Body = func(rt *RT, fr *Frame) Status {
+		n := fr.Arg(0).Int()
+		nodes := fr.Arg(1).Int()
+		switch fr.PC {
+		case 0:
+			fr.PC = 1
+			fallthrough
+		case 1:
+			for {
+				i := fr.Local(0).Int()
+				if i >= n {
+					break
+				}
+				fr.SetLocal(0, IntW(i+1))
+				target := Ref{Node: int32(i % nodes), Index: 0}
+				if st := rt.Invoke(fr, leaf, target, JoinDiscard, IntW(i)); st == NeedUnwind {
+					return rt.Unwind(fr)
+				}
+			}
+			fr.PC = 2
+			fallthrough
+		case 2:
+			if !rt.TouchJoin(fr) {
+				return Unwound
+			}
+			rt.Reply(fr, IntW(n))
+			return Done
+		}
+		panic("bad pc")
+	}
+	p.Add(wide)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(4)
+	rt := NewRT(eng, machine.CM5(), p, DefaultHybrid())
+	for i := 0; i < 4; i++ {
+		rt.Node(i).NewObject(nil) // index 0 on every node
+	}
+	driver := rt.Node(0).NewObject(nil)
+	var res Result
+	rt.StartOn(0, wide, driver, &res, IntW(20000), IntW(4))
+	rt.Run()
+	if !res.Done || res.Val.Int() != 20000 {
+		t.Fatalf("wide join %v done=%v", res.Val.Int(), res.Done)
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManySuspendResumeCycles: a context that suspends and wakes many
+// times (loop of remote touches) keeps its frame identity and state.
+func TestManySuspendResumeCycles(t *testing.T) {
+	p := NewProgram()
+	leaf := mkEcho(p, "st.rleaf")
+	loop := &Method{Name: "st.loop", NArgs: 2, NLocals: 2, NFutures: 1,
+		MayBlockLocal: true, Calls: []*Method{leaf}}
+	loop.Body = func(rt *RT, fr *Frame) Status {
+		switch fr.PC {
+		case 0:
+			fr.PC = 1
+			fallthrough
+		case 1:
+			for {
+				i := fr.Local(0).Int()
+				if i >= fr.Arg(0).Int() {
+					break
+				}
+				fr.SetLocal(0, IntW(i+1))
+				fr.ClearFut(0)
+				if st := rt.Invoke(fr, leaf, fr.Arg(1).Ref(), 0, fr.Local(1)); st == NeedUnwind {
+					return rt.Unwind(fr)
+				}
+				fr.PC = 2
+				if !rt.TouchAll(fr, Mask(0)) {
+					return Unwound
+				}
+				fr.SetLocal(1, fr.Fut(0))
+				fr.PC = 1
+			}
+			rt.Reply(fr, fr.Local(1))
+			return Done
+		case 2:
+			if !rt.TouchAll(fr, Mask(0)) {
+				return Unwound
+			}
+			fr.SetLocal(1, fr.Fut(0))
+			fr.PC = 1
+			return loop.Body(rt, fr)
+		}
+		panic("bad pc")
+	}
+	p.Add(loop)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(2)
+	rt := NewRT(eng, machine.CM5(), p, DefaultHybrid())
+	driver := rt.Node(0).NewObject(nil)
+	remote := rt.Node(1).NewObject(nil)
+	var res Result
+	rt.StartOn(0, loop, driver, &res, IntW(500), RefW(remote))
+	rt.Run()
+	if !res.Done || res.Val.Int() != 500 {
+		t.Fatalf("loop result %v done=%v, want 500", res.Val.Int(), res.Done)
+	}
+	s := rt.TotalStats()
+	if s.Suspends < 499 {
+		t.Fatalf("expected ~500 suspend/resume cycles, got %d", s.Suspends)
+	}
+	// The root context is already in the heap; resuming must never
+	// re-promote it.
+	if s.Fallbacks != 0 {
+		t.Fatalf("fallbacks = %d, want 0 (root context resumes in place)", s.Fallbacks)
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+}

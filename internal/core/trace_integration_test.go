@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestTraceCapturesExecutionShape: the trace of a two-node run must show
+// the hybrid model's signature events in consistent quantities.
+func TestTraceCapturesExecutionShape(t *testing.T) {
+	p := NewProgram()
+	fib := buildFib(p)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	buf := trace.NewBuffer(1 << 18)
+	cfg := DefaultHybrid()
+	cfg.Tracer = buf
+
+	eng := sim.NewEngine(2)
+	rt := NewRT(eng, machine.CM5(), p, cfg)
+	self := rt.Node(0).NewObject(nil)
+	var res Result
+	rt.StartOn(0, fib, self, &res, IntW(12))
+	rt.Run()
+	if !res.Done {
+		t.Fatal("incomplete")
+	}
+	s := rt.TotalStats()
+	if got := buf.Count(trace.KStackCall); got != s.StackCalls {
+		t.Errorf("traced stack calls %d != stats %d", got, s.StackCalls)
+	}
+	if got := buf.Count(trace.KFallback); got != s.Fallbacks {
+		t.Errorf("traced fallbacks %d != stats %d", got, s.Fallbacks)
+	}
+	if got := buf.Count(trace.KCtxAlloc); got != s.HeapInvokes {
+		t.Errorf("traced ctx allocs %d != stats %d", got, s.HeapInvokes)
+	}
+	if got := buf.Count(trace.KSuspend); got != s.Suspends {
+		t.Errorf("traced suspends %d != stats %d", got, s.Suspends)
+	}
+	// Every invocation shows up.
+	if got := buf.Count(trace.KInvoke); got != s.Invokes {
+		t.Errorf("traced invokes %d != stats %d", got, s.Invokes)
+	}
+	// Local run: completions >= stack calls (each stack call completes) and
+	// all events stamped with monotone per-node times.
+	last := map[int32]Instr{}
+	for _, e := range buf.Events() {
+		if e.At < last[e.Node] {
+			t.Fatalf("node %d trace time went backwards: %d after %d", e.Node, e.At, last[e.Node])
+		}
+		last[e.Node] = e.At
+	}
+}
+
+// TestTraceRemoteRun: messages and wrappers appear for a distributed run.
+func TestTraceRemoteRun(t *testing.T) {
+	p := NewProgram()
+	sum, _ := buildRemoteSum(p)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	buf := trace.NewBuffer(0)
+	cfg := DefaultHybrid()
+	cfg.Tracer = buf
+	eng := sim.NewEngine(2)
+	rt := NewRT(eng, machine.CM5(), p, cfg)
+	driver := rt.Node(0).NewObject(nil)
+	a := rt.Node(0).NewObject(&cellState{10})
+	b := rt.Node(1).NewObject(&cellState{32})
+	var res Result
+	rt.StartOn(0, sum, driver, &res, RefW(a), RefW(b))
+	rt.Run()
+	if !res.Done || res.Val.Int() != 42 {
+		t.Fatal("wrong result")
+	}
+	if buf.Count(trace.KMsgSend) != 2 { // request + reply
+		t.Errorf("traced sends = %d, want 2", buf.Count(trace.KMsgSend))
+	}
+	if buf.Count(trace.KWrapper) != 1 {
+		t.Errorf("traced wrappers = %d, want 1", buf.Count(trace.KWrapper))
+	}
+	per := buf.PerNode(trace.KWrapper)
+	if per[1] != 1 {
+		t.Errorf("wrapper should have run on node 1: %v", per)
+	}
+}

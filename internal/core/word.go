@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/instr"
+)
+
+// Instr re-exports the virtual-instruction unit for API convenience.
+type Instr = instr.Instr
+
+// Word is the runtime's uniform value representation: one machine word.
+// Arguments, future values and frame locals are all Words; typed views are
+// provided by the conversion helpers. This mirrors the paper's C target,
+// where all values passed between activations are word-sized.
+type Word uint64
+
+// IntW packs a signed integer into a Word.
+func IntW(v int64) Word { return Word(v) }
+
+// Int unpacks a signed integer.
+func (w Word) Int() int64 { return int64(w) }
+
+// FloatW packs a float64 into a Word.
+func FloatW(f float64) Word { return Word(math.Float64bits(f)) }
+
+// Float unpacks a float64.
+func (w Word) Float() float64 { return math.Float64frombits(uint64(w)) }
+
+// BoolW packs a boolean.
+func BoolW(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Bool unpacks a boolean.
+func (w Word) Bool() bool { return w != 0 }
+
+// RefW packs a global object reference.
+func RefW(r Ref) Word { return Word(uint64(uint32(r.Node))<<32 | uint64(uint32(r.Index))) }
+
+// Ref unpacks a global object reference.
+func (w Word) Ref() Ref { return Ref{Node: int32(w >> 32), Index: int32(w)} }
+
+// Ref is a location-independent global object reference: the identity of an
+// object anywhere in the machine. Program code never dereferences a Ref
+// directly; the runtime performs name translation (charged per the machine
+// model) to reach the object's node-local state.
+type Ref struct {
+	Node  int32 // owning node
+	Index int32 // index into the owner's object table
+}
+
+// NilRef is the absent reference.
+var NilRef = Ref{Node: -1, Index: -1}
+
+// IsNil reports whether the reference is absent.
+func (r Ref) IsNil() bool { return r.Node < 0 }

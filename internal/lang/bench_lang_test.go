@@ -1,0 +1,44 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// BenchmarkCompile measures front-end throughput on the fib source.
+func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(fibSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledExecution measures the IR interpreter against the
+// hand-written body shape (compare with core's BenchmarkHybridStackExecution).
+func BenchmarkCompiledExecution(b *testing.B) {
+	c, err := Compile(fibSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Prog.Resolve(core.Interfaces3); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(1)
+		rt := core.NewRT(eng, machine.CM5(), c.Prog, core.DefaultHybrid())
+		self := rt.Node(0).NewObject(nil)
+		var res core.Result
+		rt.StartOn(0, c.Methods["fib"], self, &res, core.IntW(16))
+		rt.Run()
+		if !res.Done {
+			b.Fatal("incomplete")
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Class-based programs: the object-oriented surface of the language
+// (classes, named fields, new, qualified calls), mirroring ICC++/CA style.
+
+const counterSrc = `
+class Counter {
+    field count;
+    method bump(k) {
+        count = count + k;
+        return count;
+    }
+    method read() { return count; }
+}
+
+method main(n) {
+    c = new Counter();
+    i = 0;
+    while i < n {
+        r = spawn Counter.bump(i + 1) on c;
+        touch r;
+        i = i + 1;
+    }
+    v = spawn Counter.read() on c;
+    touch v;
+    return v;
+}
+`
+
+const bankSrc = `
+class Account {
+    field balance;
+    locked method deposit(x) {
+        balance = balance + x;
+        return balance;
+    }
+    locked method withdrawTo(x, other) {
+        balance = balance - x;
+        d = spawn deposit(x) on other;   // unqualified: same class
+        touch d;
+        return balance;
+    }
+    method peek() { return balance; }
+}
+
+method main(amount) {
+    a = new Account();
+    b = new Account();
+    d = spawn Account.deposit(amount) on a;
+    touch d;
+    w = spawn Account.withdrawTo(amount / 2, b) on a;
+    touch w;
+    pa = spawn Account.peek() on a;
+    pb = spawn Account.peek() on b;
+    touch pa, pb;
+    return pa * 1000 + pb;
+}
+`
+
+func runClassProgram(t *testing.T, src, entry string, cfg core.Config, args ...core.Word) int64 {
+	t.Helper()
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := c.Prog.Resolve(cfg.Interfaces); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(2)
+	rt := core.NewRT(eng, machine.CM5(), c.Prog, cfg)
+	self := rt.Node(0).NewObject(make([]core.Word, 0))
+	var res core.Result
+	rt.StartOn(0, c.Methods[entry], self, &res, args...)
+	rt.Run()
+	if !res.Done {
+		t.Fatalf("%s did not complete", entry)
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	return res.Val.Int()
+}
+
+func TestClassCounter(t *testing.T) {
+	for _, cfg := range []core.Config{core.DefaultHybrid(), core.ParallelOnly()} {
+		got := runClassProgram(t, counterSrc, "main", cfg, core.IntW(5))
+		if got != 15 { // 1+2+3+4+5
+			t.Fatalf("hybrid=%v: counter = %d, want 15", cfg.Hybrid, got)
+		}
+	}
+}
+
+func TestClassBankTransfer(t *testing.T) {
+	got := runClassProgram(t, bankSrc, "main", core.DefaultHybrid(), core.IntW(100))
+	// a: +100 then -50 = 50; b: +50. Result 50*1000 + 50.
+	if got != 50050 {
+		t.Fatalf("bank = %d, want 50050", got)
+	}
+}
+
+func TestClassSchemas(t *testing.T) {
+	c, err := Compile(bankSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prog.Resolve(core.Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Methods["Account.peek"]; m == nil || m.Required != core.SchemaNB {
+		t.Errorf("Account.peek schema = %v, want NB", m.Required)
+	}
+	if m := c.Methods["Account.deposit"]; m == nil || !m.Locks || m.Required != core.SchemaMB {
+		t.Errorf("Account.deposit: Locks=%v schema=%v, want locked MB", m.Locks, m.Required)
+	}
+	if m := c.Methods["Account.withdrawTo"]; m == nil || m.Required != core.SchemaMB {
+		t.Errorf("Account.withdrawTo schema = %v, want MB", m.Required)
+	}
+}
+
+func TestClassFieldErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`method f() { c = new Nope(); return 0; }`, `undefined class`},
+		{`class C { field x; field x; method m() { return x; } } method f() { return 0; }`, "repeated"},
+		{`class C { field x; method m(x) { return x; } } method f() { return 0; }`, "shadows"},
+		{`class C { zzz } method f() { return 0; }`, "expected 'field' or 'method'"},
+		{`method f() { a = spawn C.m() on self; touch a; return a; }`, `undefined method "C.m"`},
+	}
+	for _, tc := range cases {
+		_, err := Compile(tc.src)
+		if err == nil {
+			t.Errorf("no error for %q", tc.src)
+			continue
+		}
+		if !contains(err.Error(), tc.want) {
+			t.Errorf("error for %q = %q, want contains %q", tc.src, err.Error(), tc.want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClassObjectsAcrossNodes: class instances can be handed to remote
+// methods; field access always happens on the owner.
+func TestClassObjectsAcrossNodes(t *testing.T) {
+	src := `
+class Cell {
+    field v;
+    method put(x) { v = x; return 0; }
+    method get() { return v; }
+}
+method farPut(cell, x) {
+    w = spawn Cell.put(x) on cell;
+    touch w;
+    return 0;
+}
+method main(x) {
+    c = new Cell();
+    w = spawn farPut(c, x) on self;
+    touch w;
+    g = spawn Cell.get() on c;
+    touch g;
+    return g;
+}
+`
+	// Note: `new` creates on the creating node; farPut runs locally here
+	// but the put travels through the normal invocation paths.
+	got := runClassProgram(t, src, "main", core.DefaultHybrid(), core.IntW(321))
+	if got != 321 {
+		t.Fatalf("cross-node cell = %d, want 321", got)
+	}
+}

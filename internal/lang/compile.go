@@ -1,0 +1,586 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/instr"
+)
+
+// Compiled is a fully compiled program: its methods are registered in Prog
+// and ready to resolve and run under any configuration.
+type Compiled struct {
+	Prog    *core.Program
+	Methods map[string]*core.Method
+}
+
+// Compile parses, checks and compiles source text onto the hybrid runtime.
+// The caller resolves the program with its chosen interface set
+// (Prog.Resolve) before executing.
+func Compile(src string) (*Compiled, error) {
+	decls, perr := parseProgram(src)
+	if perr != nil {
+		return nil, perr
+	}
+	byName := map[string]*methodDecl{}
+	order := map[string]int{}
+	classes := map[string][]string{}
+	for i, d := range decls {
+		if _, dup := byName[d.name]; dup {
+			return nil, errf(d.line, d.col, "method %q redeclared", d.name)
+		}
+		byName[d.name] = d
+		order[d.name] = i
+		if d.className != "" {
+			classes[d.className] = d.fields
+		}
+	}
+
+	prog := core.NewProgram()
+	codes := make([]*methodCode, len(decls))
+	methods := make([]*core.Method, len(decls))
+	for i, d := range decls {
+		mc, err := lower(d, byName, order, classes)
+		if err != nil {
+			return nil, err
+		}
+		codes[i] = mc
+		m := &core.Method{
+			Name:          d.name,
+			NArgs:         len(d.params),
+			NLocals:       len(mc.locals),
+			NFutures:      len(mc.futures),
+			Locks:         d.locked,
+			MayBlockLocal: mc.mayBlock,
+			Captures:      mc.forwards, // forwarding may require the continuation
+		}
+		m.Body = makeBody(mc)
+		prog.Add(m)
+		methods[i] = m
+	}
+	// Second pass: resolve call-graph edges and callee method pointers.
+	for i, mc := range codes {
+		mc.methods = methods
+		seenCall := map[int]bool{}
+		seenFwd := map[int]bool{}
+		for _, in := range mc.code {
+			switch in.op {
+			case irSpawn:
+				if !seenCall[in.callee] {
+					seenCall[in.callee] = true
+					methods[i].Calls = append(methods[i].Calls, methods[in.callee])
+				}
+			case irForward:
+				if !seenFwd[in.callee] {
+					seenFwd[in.callee] = true
+					methods[i].Forwards = append(methods[i].Forwards, methods[in.callee])
+				}
+			}
+		}
+	}
+	out := &Compiled{Prog: prog, Methods: map[string]*core.Method{}}
+	for i, d := range decls {
+		out.Methods[d.name] = methods[i]
+	}
+	return out, nil
+}
+
+// --- lowering ---
+
+type irOp uint8
+
+const (
+	irAssign      irOp = iota // local[a] = e
+	irSpawn                   // fut[slot] = callee(args) on target
+	irTouch                   // wait for mask
+	irReturn                  // reply e
+	irForward                 // tail-forward callee(args) on target
+	irWork                    // charge e instructions
+	irJump                    // pc = a
+	irJumpIfFalse             // if !e: pc = a
+	irStateStore              // state[target] = e (target holds the index expr)
+	irNewObj                  // local[a] = ref of a fresh k-word object (e = size)
+)
+
+type irInstr struct {
+	op     irOp
+	a      int // local slot (assign) or jump target
+	slot   int // future slot (spawn)
+	callee int // method index (spawn/forward)
+	mask   uint64
+	e      expr
+	args   []expr
+	target expr
+}
+
+// varInfo classifies a method-body name.
+type varInfo struct {
+	kind varKind
+	slot int
+}
+
+type varKind uint8
+
+const (
+	vkParam varKind = iota
+	vkLocal
+	vkFuture
+	vkField
+)
+
+type methodCode struct {
+	name     string
+	decl     *methodDecl
+	classes  map[string][]string
+	code     []irInstr
+	vars     map[string]varInfo
+	locals   []string
+	futures  []string
+	live     map[string]bool // spawned but not yet touched
+	mayBlock bool
+	forwards bool
+	methods  []*core.Method
+}
+
+// resolveCallee maps a (possibly unqualified) callee name to its declared
+// method, preferring the current class's namespace.
+func (mc *methodCode) resolveCallee(name string, byName map[string]*methodDecl) (*methodDecl, bool) {
+	if mc.decl.className != "" {
+		if d, ok := byName[mc.decl.className+"."+name]; ok {
+			return d, true
+		}
+	}
+	d, ok := byName[name]
+	return d, ok
+}
+
+// lower converts one method declaration to IR, performing the semantic
+// checks: names must be defined before use, arities must match, a name is
+// either a future variable or a plain local (never both), and future reads
+// must be preceded by a touch on every path (checked conservatively: a
+// touch anywhere earlier in the lowering order).
+func lower(d *methodDecl, byName map[string]*methodDecl, order map[string]int, classes map[string][]string) (*methodCode, *Error) {
+	mc := &methodCode{name: d.name, decl: d, classes: classes, vars: map[string]varInfo{}}
+	for i, f := range d.fields {
+		if _, dup := mc.vars[f]; dup {
+			return nil, errf(d.line, d.col, "field %q repeated", f)
+		}
+		mc.vars[f] = varInfo{kind: vkField, slot: i}
+	}
+	for i, p := range d.params {
+		if _, dup := mc.vars[p]; dup {
+			return nil, errf(d.line, d.col, "parameter %q repeated or shadows a field", p)
+		}
+		mc.vars[p] = varInfo{kind: vkParam, slot: i}
+	}
+	touched := map[string]bool{}
+	if err := mc.lowerBlock(d.body, byName, order, touched); err != nil {
+		return nil, err
+	}
+	// Implicit `return 0` guards fall-off-the-end paths.
+	mc.emit(irInstr{op: irReturn, e: &intLit{v: 0}})
+	if len(mc.futures) > 64 {
+		return nil, errf(d.line, d.col, "method %q uses %d futures; the touch mask holds at most 64", d.name, len(mc.futures))
+	}
+	return mc, nil
+}
+
+func (mc *methodCode) emit(in irInstr) int {
+	mc.code = append(mc.code, in)
+	return len(mc.code) - 1
+}
+
+func (mc *methodCode) lowerBlock(body []stmt, byName map[string]*methodDecl, order map[string]int, touched map[string]bool) *Error {
+	for _, s := range body {
+		if err := mc.lowerStmt(s, byName, order, touched); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (mc *methodCode) lowerStmt(s stmt, byName map[string]*methodDecl, order map[string]int, touched map[string]bool) *Error {
+	switch st := s.(type) {
+	case *assignStmt:
+		if err := mc.checkExpr(st.rhs, touched); err != nil {
+			return err
+		}
+		v, ok := mc.vars[st.name]
+		if ok && v.kind == vkFuture {
+			return errf(st.line, st.col, "%q is a future variable; assign it with spawn", st.name)
+		}
+		if ok && v.kind == vkParam {
+			return errf(st.line, st.col, "cannot assign to parameter %q", st.name)
+		}
+		if ok && v.kind == vkField {
+			mc.emit(irInstr{op: irStateStore, target: &intLit{v: int64(v.slot)}, e: st.rhs})
+			return nil
+		}
+		if !ok {
+			v = varInfo{kind: vkLocal, slot: len(mc.locals)}
+			mc.locals = append(mc.locals, st.name)
+			mc.vars[st.name] = v
+		}
+		mc.emit(irInstr{op: irAssign, a: v.slot, e: st.rhs})
+		return nil
+
+	case *spawnStmt:
+		callee, ok := mc.resolveCallee(st.callee, byName)
+		if !ok {
+			return errf(st.line, st.col, "spawn of undefined method %q", st.callee)
+		}
+		if len(st.args) != len(callee.params) {
+			return errf(st.line, st.col, "%q takes %d arguments, got %d", st.callee, len(callee.params), len(st.args))
+		}
+		for _, a := range st.args {
+			if err := mc.checkExpr(a, touched); err != nil {
+				return err
+			}
+		}
+		if err := mc.checkExpr(st.target, touched); err != nil {
+			return err
+		}
+		v, ok := mc.vars[st.name]
+		if ok && v.kind != vkFuture {
+			return errf(st.line, st.col, "%q is not a future variable", st.name)
+		}
+		if ok && mc.live[st.name] {
+			return errf(st.line, st.col, "future %q respawned before being touched", st.name)
+		}
+		if !ok {
+			v = varInfo{kind: vkFuture, slot: len(mc.futures)}
+			mc.futures = append(mc.futures, st.name)
+			mc.vars[st.name] = v
+		}
+		delete(touched, st.name) // respawned: must be touched again
+		if mc.live == nil {
+			mc.live = map[string]bool{}
+		}
+		mc.live[st.name] = true
+		mc.mayBlock = true
+		mc.emit(irInstr{op: irSpawn, slot: v.slot, callee: order[callee.name],
+			args: st.args, target: st.target})
+		return nil
+
+	case *touchStmt:
+		var mask uint64
+		for _, n := range st.names {
+			v, ok := mc.vars[n]
+			if !ok || v.kind != vkFuture {
+				return errf(st.line, st.col, "touch of %q, which is not a future variable", n)
+			}
+			mask |= 1 << uint(v.slot)
+			touched[n] = true
+			delete(mc.live, n)
+		}
+		mc.mayBlock = true
+		mc.emit(irInstr{op: irTouch, mask: mask})
+		return nil
+
+	case *returnStmt:
+		if err := mc.checkExpr(st.value, touched); err != nil {
+			return err
+		}
+		mc.emit(irInstr{op: irReturn, e: st.value})
+		return nil
+
+	case *forwardStmt:
+		callee, ok := mc.resolveCallee(st.callee, byName)
+		if !ok {
+			return errf(st.line, st.col, "forward to undefined method %q", st.callee)
+		}
+		if len(st.args) != len(callee.params) {
+			return errf(st.line, st.col, "%q takes %d arguments, got %d", st.callee, len(callee.params), len(st.args))
+		}
+		for _, a := range st.args {
+			if err := mc.checkExpr(a, touched); err != nil {
+				return err
+			}
+		}
+		if err := mc.checkExpr(st.target, touched); err != nil {
+			return err
+		}
+		mc.forwards = true
+		mc.emit(irInstr{op: irForward, callee: order[callee.name], args: st.args, target: st.target})
+		return nil
+
+	case *workStmt:
+		if err := mc.checkExpr(st.amount, touched); err != nil {
+			return err
+		}
+		mc.emit(irInstr{op: irWork, e: st.amount})
+		return nil
+
+	case *ifStmt:
+		if err := mc.checkExpr(st.cond, touched); err != nil {
+			return err
+		}
+		jf := mc.emit(irInstr{op: irJumpIfFalse, e: st.cond})
+		if err := mc.lowerBlock(st.then, byName, order, touched); err != nil {
+			return err
+		}
+		if len(st.els) == 0 {
+			mc.code[jf].a = len(mc.code)
+			return nil
+		}
+		jend := mc.emit(irInstr{op: irJump})
+		mc.code[jf].a = len(mc.code)
+		if err := mc.lowerBlock(st.els, byName, order, touched); err != nil {
+			return err
+		}
+		mc.code[jend].a = len(mc.code)
+		return nil
+
+	case *stateAssign:
+		if err := mc.checkExpr(st.idx, touched); err != nil {
+			return err
+		}
+		if err := mc.checkExpr(st.rhs, touched); err != nil {
+			return err
+		}
+		mc.emit(irInstr{op: irStateStore, target: st.idx, e: st.rhs})
+		return nil
+
+	case *newClassStmt:
+		fields, ok := mc.classes[st.class]
+		if !ok {
+			return errf(st.line, st.col, "new of undefined class %q", st.class)
+		}
+		v, ok2 := mc.vars[st.name]
+		if ok2 && v.kind != vkLocal {
+			return errf(st.line, st.col, "cannot assign new %s to %q", st.class, st.name)
+		}
+		if !ok2 {
+			v = varInfo{kind: vkLocal, slot: len(mc.locals)}
+			mc.locals = append(mc.locals, st.name)
+			mc.vars[st.name] = v
+		}
+		mc.emit(irInstr{op: irNewObj, a: v.slot, e: &intLit{v: int64(len(fields))}})
+		return nil
+
+	case *newObjStmt:
+		if err := mc.checkExpr(st.size, touched); err != nil {
+			return err
+		}
+		v, ok := mc.vars[st.name]
+		if ok && v.kind != vkLocal {
+			return errf(st.line, st.col, "cannot assign newobj to %q", st.name)
+		}
+		if !ok {
+			v = varInfo{kind: vkLocal, slot: len(mc.locals)}
+			mc.locals = append(mc.locals, st.name)
+			mc.vars[st.name] = v
+		}
+		mc.emit(irInstr{op: irNewObj, a: v.slot, e: st.size})
+		return nil
+
+	case *whileStmt:
+		top := len(mc.code)
+		if err := mc.checkExpr(st.cond, touched); err != nil {
+			return err
+		}
+		jf := mc.emit(irInstr{op: irJumpIfFalse, e: st.cond})
+		if err := mc.lowerBlock(st.body, byName, order, touched); err != nil {
+			return err
+		}
+		mc.emit(irInstr{op: irJump, a: top})
+		mc.code[jf].a = len(mc.code)
+		return nil
+	}
+	line, col := s.stmtPos()
+	return errf(line, col, "internal: unknown statement")
+}
+
+// checkExpr verifies names resolve and future reads come after a touch.
+func (mc *methodCode) checkExpr(e expr, touched map[string]bool) *Error {
+	switch x := e.(type) {
+	case *intLit, *selfRef:
+		return nil
+	case *stateRef:
+		return mc.checkExpr(x.idx, touched)
+	case *varRef:
+		v, ok := mc.vars[x.name]
+		if !ok {
+			return errf(x.line, x.col, "undefined name %q", x.name)
+		}
+		if v.kind == vkFuture && !touched[x.name] {
+			return errf(x.line, x.col, "future %q read before touch", x.name)
+		}
+		return nil
+	case *unaryExpr:
+		return mc.checkExpr(x.x, touched)
+	case *binExpr:
+		if err := mc.checkExpr(x.x, touched); err != nil {
+			return err
+		}
+		return mc.checkExpr(x.y, touched)
+	}
+	line, col := e.exprPos()
+	return errf(line, col, "internal: unknown expression")
+}
+
+// --- execution ---
+
+// makeBody builds the runtime body: an interpreter over the method's IR
+// whose PC is the frame's resume point. Suspension points are exactly the
+// spawns and touches, so this is the same resumable shape the Concert
+// compiler emitted as C.
+func makeBody(mc *methodCode) core.BodyFunc {
+	return func(rt *core.RT, fr *core.Frame) core.Status {
+		for {
+			in := &mc.code[fr.PC]
+			switch in.op {
+			case irAssign:
+				fr.SetLocal(in.a, mc.eval(fr, in.e))
+				fr.PC++
+			case irWork:
+				rt.Work(fr, instr.Instr(mc.eval(fr, in.e).Int()))
+				fr.PC++
+			case irJump:
+				fr.PC = in.a
+			case irJumpIfFalse:
+				if mc.eval(fr, in.e).Int() == 0 {
+					fr.PC = in.a
+				} else {
+					fr.PC++
+				}
+			case irSpawn:
+				if fr.FutFull(in.slot) {
+					fr.ClearFut(in.slot) // slot reuse across loop iterations
+				}
+				args := make([]core.Word, len(in.args))
+				for i, a := range in.args {
+					args[i] = mc.eval(fr, a)
+				}
+				target := mc.eval(fr, in.target).Ref()
+				fr.PC++ // resume after the spawn
+				if st := rt.Invoke(fr, mc.methods[in.callee], target, in.slot, args...); st == core.NeedUnwind {
+					return rt.Unwind(fr)
+				}
+			case irTouch:
+				if !rt.TouchAll(fr, in.mask) {
+					return core.Unwound // PC stays here; resume re-touches
+				}
+				fr.PC++
+			case irStateStore:
+				st := objState(mc, fr)
+				st[mc.eval(fr, in.target).Int()] = mc.eval(fr, in.e)
+				fr.PC++
+			case irNewObj:
+				k := mc.eval(fr, in.e).Int()
+				ref := fr.Node.NewObject(make([]core.Word, k))
+				fr.SetLocal(in.a, core.RefW(ref))
+				fr.PC++
+			case irReturn:
+				rt.Reply(fr, mc.eval(fr, in.e))
+				return core.Done
+			case irForward:
+				args := make([]core.Word, len(in.args))
+				for i, a := range in.args {
+					args[i] = mc.eval(fr, a)
+				}
+				target := mc.eval(fr, in.target).Ref()
+				return rt.ForwardTail(fr, mc.methods[in.callee], target, args...)
+			default:
+				panic(fmt.Sprintf("lang: %s: bad opcode at pc %d", mc.name, fr.PC))
+			}
+		}
+	}
+}
+
+// objState returns the receiving object's word-array state; objects used
+// with `state[...]` must be created with []core.Word state (newobj does
+// this; host setup must match).
+func objState(mc *methodCode, fr *core.Frame) []core.Word {
+	st, ok := fr.Node.State(fr.Self).([]core.Word)
+	if !ok {
+		panic(fmt.Sprintf("lang: %s: object %v has no word-array state", mc.name, fr.Self))
+	}
+	return st
+}
+
+// eval evaluates an expression against the frame.
+func (mc *methodCode) eval(fr *core.Frame, e expr) core.Word {
+	switch x := e.(type) {
+	case *intLit:
+		return core.IntW(x.v)
+	case *selfRef:
+		return core.RefW(fr.Self)
+	case *stateRef:
+		return objState(mc, fr)[mc.eval(fr, x.idx).Int()]
+	case *varRef:
+		v := mc.vars[x.name]
+		switch v.kind {
+		case vkParam:
+			return fr.Arg(v.slot)
+		case vkLocal:
+			return fr.Local(v.slot)
+		case vkField:
+			return objState(mc, fr)[v.slot]
+		default:
+			return fr.Fut(v.slot)
+		}
+	case *unaryExpr:
+		v := mc.eval(fr, x.x).Int()
+		if x.op == tokMinus {
+			return core.IntW(-v)
+		}
+		return core.BoolW(v == 0)
+	case *binExpr:
+		a := mc.eval(fr, x.x).Int()
+		switch x.op {
+		case tokAndAnd:
+			if a == 0 {
+				return core.BoolW(false)
+			}
+			return core.BoolW(mc.eval(fr, x.y).Int() != 0)
+		case tokOrOr:
+			if a != 0 {
+				return core.BoolW(true)
+			}
+			return core.BoolW(mc.eval(fr, x.y).Int() != 0)
+		}
+		b := mc.eval(fr, x.y).Int()
+		switch x.op {
+		case tokPlus:
+			return core.IntW(a + b)
+		case tokMinus:
+			return core.IntW(a - b)
+		case tokStar:
+			return core.IntW(a * b)
+		case tokSlash:
+			if b == 0 {
+				panic(fmt.Sprintf("lang: %s: division by zero at %d:%d", mc.name, x.line, x.col))
+			}
+			return core.IntW(a / b)
+		case tokPercent:
+			if b == 0 {
+				panic(fmt.Sprintf("lang: %s: modulo by zero at %d:%d", mc.name, x.line, x.col))
+			}
+			return core.IntW(a % b)
+		case tokLT:
+			return core.BoolW(a < b)
+		case tokLE:
+			return core.BoolW(a <= b)
+		case tokGT:
+			return core.BoolW(a > b)
+		case tokGE:
+			return core.BoolW(a >= b)
+		case tokEQ:
+			return core.BoolW(a == b)
+		case tokNE:
+			return core.BoolW(a != b)
+		case tokAmp:
+			return core.IntW(a & b)
+		case tokPipe:
+			return core.IntW(a | b)
+		case tokCaret:
+			return core.IntW(a ^ b)
+		case tokShl:
+			return core.IntW(a << uint(b&63))
+		case tokShr:
+			return core.IntW(a >> uint(b&63))
+		}
+	}
+	panic("lang: bad expression")
+}

@@ -1,0 +1,159 @@
+package lang
+
+// lexer turns source text into tokens. Comments run from "//" to newline.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// next returns the next token or a lex error.
+func (lx *lexer) next() (token, *Error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := lx.advance()
+	mk := func(k tokKind) (token, *Error) {
+		return token{kind: k, line: line, col: col}, nil
+	}
+	two := func(next byte, yes, no tokKind) (token, *Error) {
+		if lx.peekByte() == next {
+			lx.advance()
+			return mk(yes)
+		}
+		return mk(no)
+	}
+	switch {
+	case isLetter(c):
+		start := lx.pos - 1
+		for lx.pos < len(lx.src) && (isLetter(lx.peekByte()) || isDigit(lx.peekByte())) {
+			lx.advance()
+		}
+		word := lx.src[start:lx.pos]
+		if k, ok := keywords[word]; ok {
+			return token{kind: k, text: word, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: word, line: line, col: col}, nil
+	case isDigit(c):
+		v := int64(c - '0')
+		for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+			v = v*10 + int64(lx.advance()-'0')
+		}
+		return token{kind: tokInt, val: v, line: line, col: col}, nil
+	}
+	switch c {
+	case '(':
+		return mk(tokLParen)
+	case ')':
+		return mk(tokRParen)
+	case '{':
+		return mk(tokLBrace)
+	case '[':
+		return mk(tokLBracket)
+	case ']':
+		return mk(tokRBracket)
+	case '}':
+		return mk(tokRBrace)
+	case ',':
+		return mk(tokComma)
+	case ';':
+		return mk(tokSemi)
+	case '.':
+		return mk(tokDot)
+	case '+':
+		return mk(tokPlus)
+	case '-':
+		return mk(tokMinus)
+	case '*':
+		return mk(tokStar)
+	case '/':
+		return mk(tokSlash)
+	case '%':
+		return mk(tokPercent)
+	case '=':
+		return two('=', tokEQ, tokAssign)
+	case '<':
+		if lx.peekByte() == '<' {
+			lx.advance()
+			return mk(tokShl)
+		}
+		return two('=', tokLE, tokLT)
+	case '>':
+		if lx.peekByte() == '>' {
+			lx.advance()
+			return mk(tokShr)
+		}
+		return two('=', tokGE, tokGT)
+	case '!':
+		return two('=', tokNE, tokBang)
+	case '&':
+		return two('&', tokAndAnd, tokAmp)
+	case '|':
+		return two('|', tokOrOr, tokPipe)
+	case '^':
+		return mk(tokCaret)
+	}
+	return token{}, errf(line, col, "unexpected character %q", c)
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, *Error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

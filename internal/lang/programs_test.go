@@ -1,0 +1,188 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Larger compiled programs: a regression suite of realistic mini-language
+// sources, each checked against a native Go oracle across execution models.
+
+const nqueensSrc = `
+// n-queens by bitmasks; recursion serializes through one future variable
+// (the language names future slots, so wide joins use loops).
+method nq(cols, d1, d2, row, n) {
+    if row == n { return 1; }
+    full = (1 << n) - 1;
+    avail = (full ^ (cols | d1 | d2)) & full;
+    count = 0;
+    while avail != 0 {
+        bit = avail & (0 - avail);
+        avail = avail ^ bit;
+        c = spawn nq(cols | bit, ((d1 | bit) << 1) & full, (d2 | bit) >> 1, row + 1, n) on self;
+        touch c;
+        count = count + c;
+    }
+    return count;
+}
+`
+
+const gcdSrc = `
+method gcd(a, b) {
+    x = a;
+    y = b;
+    while y != 0 {
+        t = x % y;
+        x = y;
+        y = t;
+    }
+    return x;
+}
+`
+
+const ackermannSrc = `
+method ack(m, n) {
+    if m == 0 { return n + 1; }
+    if n == 0 {
+        r = spawn ack(m - 1, 1) on self;
+        touch r;
+        return r;
+    }
+    inner = spawn ack(m, n - 1) on self;
+    touch inner;
+    outer = spawn ack(m - 1, inner) on self;
+    touch outer;
+    return outer;
+}
+`
+
+const sumTreeSrc = `
+// Build a binary tree of objects with newobj, then sum it by traversal.
+// node state: [0]=value, [1]=left ref (0=absent), [2]=right ref.
+method build(depth, v) {
+    node = newobj(3);
+    w = spawn setVal(v) on node;
+    touch w;
+    if depth > 0 {
+        l = spawn build(depth - 1, v * 2) on self;
+        r = spawn build(depth - 1, v * 2 + 1) on self;
+        touch l, r;
+        w2 = spawn setKids(l, r) on node;
+        touch w2;
+    }
+    return node;
+}
+method setVal(v) { state[0] = v; return 0; }
+method setKids(l, r) { state[1] = l; state[2] = r; return 0; }
+method treeSum(unused) {
+    total = state[0];
+    l = state[1];
+    r = state[2];
+    if l != 0 {
+        a = spawn treeSum(0) on l;
+        touch a;
+        total = total + a;
+    }
+    if r != 0 {
+        b = spawn treeSum(0) on r;
+        touch b;
+        total = total + b;
+    }
+    return total;
+}
+method main(depth) {
+    root = spawn build(depth, 1) on self;
+    touch root;
+    s = spawn treeSum(0) on root;
+    touch s;
+    return s;
+}
+`
+
+func runProgram(t *testing.T, src, entry string, cfg core.Config, args ...core.Word) int64 {
+	t.Helper()
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := c.Prog.Resolve(cfg.Interfaces); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(2)
+	rt := core.NewRT(eng, machine.CM5(), c.Prog, cfg)
+	self := rt.Node(0).NewObject(make([]core.Word, 4))
+	var res core.Result
+	rt.StartOn(0, c.Methods[entry], self, &res, args...)
+	rt.Run()
+	if !res.Done {
+		t.Fatalf("%s did not complete", entry)
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	return res.Val.Int()
+}
+
+func TestCompiledNQueens(t *testing.T) {
+	want := map[int64]int64{4: 2, 5: 10, 6: 4, 7: 40}
+	for _, cfg := range []core.Config{core.DefaultHybrid(), core.ParallelOnly()} {
+		for n, w := range want {
+			got := runProgram(t, nqueensSrc, "nq", cfg, 0, 0, 0, core.IntW(0), core.IntW(n))
+			if got != w {
+				t.Fatalf("hybrid=%v nq(%d) = %d, want %d", cfg.Hybrid, n, got, w)
+			}
+		}
+	}
+}
+
+func TestCompiledGCD(t *testing.T) {
+	cases := [][3]int64{{12, 18, 6}, {17, 5, 1}, {100, 75, 25}, {7, 0, 7}}
+	for _, c := range cases {
+		got := runProgram(t, gcdSrc, "gcd", core.DefaultHybrid(), core.IntW(c[0]), core.IntW(c[1]))
+		if got != c[2] {
+			t.Fatalf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestCompiledAckermann(t *testing.T) {
+	// ack(2, 3) = 9; ack(3, 3) = 61.
+	if got := runProgram(t, ackermannSrc, "ack", core.DefaultHybrid(), core.IntW(2), core.IntW(3)); got != 9 {
+		t.Fatalf("ack(2,3) = %d, want 9", got)
+	}
+	if got := runProgram(t, ackermannSrc, "ack", core.ParallelOnly(), core.IntW(3), core.IntW(3)); got != 61 {
+		t.Fatalf("ack(3,3) = %d, want 61", got)
+	}
+}
+
+func TestCompiledTreeSum(t *testing.T) {
+	// Values: root 1; children 2,3; grandchildren 4,5,6,7 ... depth d gives
+	// the complete tree holding 1..2^(d+1)-1, summing to n(n+1)/2.
+	for _, depth := range []int64{0, 1, 2, 3, 4} {
+		n := int64(1)<<(depth+1) - 1
+		want := n * (n + 1) / 2
+		got := runProgram(t, sumTreeSrc, "main", core.DefaultHybrid(), core.IntW(depth))
+		if got != want {
+			t.Fatalf("treeSum(depth=%d) = %d, want %d", depth, got, want)
+		}
+	}
+}
+
+func TestShiftAndBitwiseOperators(t *testing.T) {
+	src := `
+method bits(a, b) {
+    x = (a << 3) | (b >> 1);
+    y = x & 255;
+    z = y ^ 15;
+    return z;
+}
+`
+	a, b := int64(5), int64(9)
+	want := (((a << 3) | (b >> 1)) & 255) ^ 15
+	if got := runProgram(t, src, "bits", core.DefaultHybrid(), core.IntW(a), core.IntW(b)); got != want {
+		t.Fatalf("bits = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,45 @@
+package layout
+
+// Automatic data layout selection — the paper's stated future work
+// (Section 6: "We are currently working on automating data layout ...
+// we will be able to use the flexibility of our execution model to
+// optimize the implementation with respect to the cost profile of the
+// target platform"). The mechanism here is exactly that: generate
+// candidate placements, score each with a caller-provided probe (typically
+// a reduced-scale simulated execution on the target machine model), and
+// adopt the cheapest.
+
+// Candidate is one named placement of n items onto nodes.
+type Candidate struct {
+	Name   string
+	Assign []int
+}
+
+// Candidates generates the standard placement family for a point set:
+// uniform random, contiguous blocks (by index), and orthogonal recursive
+// bisection (spatial).
+func Candidates(points []Point3, nodes int, seed int64) []Candidate {
+	n := len(points)
+	return []Candidate{
+		{Name: "random", Assign: Random(n, nodes, seed)},
+		{Name: "blocked", Assign: Blocked(n, nodes)},
+		{Name: "orb", Assign: ORB(points, nodes)},
+	}
+}
+
+// AutoSelect scores every candidate with probe (lower is better — e.g.
+// simulated seconds on the target machine) and returns the winner and its
+// cost. Ties go to the earliest candidate. It panics on an empty slate.
+func AutoSelect(cands []Candidate, probe func(assign []int) float64) (Candidate, float64) {
+	if len(cands) == 0 {
+		panic("layout: AutoSelect with no candidates")
+	}
+	best := 0
+	bestCost := probe(cands[0].Assign)
+	for i := 1; i < len(cands); i++ {
+		if c := probe(cands[i].Assign); c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return cands[best], bestCost
+}

@@ -1,0 +1,74 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// clusteredPoints builds two tight, well-separated blobs.
+func clusteredPoints(n int, seed int64) []Point3 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point3, n)
+	for i := range pts {
+		base := 0.0
+		if i >= n/2 {
+			base = 100
+		}
+		pts[i] = Point3{X: base + rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	return pts
+}
+
+// crossEdges counts neighbor pairs (consecutive same-blob points) split
+// across nodes — a cheap stand-in for communication volume.
+func crossEdges(pts []Point3, assign []int) float64 {
+	cross := 0
+	for i := 1; i < len(pts); i++ {
+		dx := pts[i].X - pts[i-1].X
+		if dx < 10 && dx > -10 && assign[i] != assign[i-1] {
+			cross++
+		}
+	}
+	return float64(cross)
+}
+
+func TestAutoSelectPicksSpatialForClusteredData(t *testing.T) {
+	pts := clusteredPoints(512, 5)
+	cands := Candidates(pts, 2, 7)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d, want 3", len(cands))
+	}
+	best, cost := AutoSelect(cands, func(a []int) float64 { return crossEdges(pts, a) })
+	if best.Name != "orb" && best.Name != "blocked" {
+		// Blocked also keeps consecutive indices together here; both are
+		// locality-preserving. Random must never win.
+		t.Fatalf("AutoSelect picked %q (cost %v)", best.Name, cost)
+	}
+	// The winner must strictly beat random.
+	var randomCost float64
+	for _, c := range cands {
+		if c.Name == "random" {
+			randomCost = crossEdges(pts, c.Assign)
+		}
+	}
+	if cost >= randomCost {
+		t.Fatalf("winner cost %v not below random %v", cost, randomCost)
+	}
+}
+
+func TestAutoSelectTieBreaksFirst(t *testing.T) {
+	cands := []Candidate{{Name: "a"}, {Name: "b"}}
+	best, cost := AutoSelect(cands, func([]int) float64 { return 1 })
+	if best.Name != "a" || cost != 1 {
+		t.Fatalf("tie break wrong: %v %v", best.Name, cost)
+	}
+}
+
+func TestAutoSelectEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty candidates")
+		}
+	}()
+	AutoSelect(nil, func([]int) float64 { return 0 })
+}

@@ -1,0 +1,200 @@
+// Package layout implements the data layouts the paper's evaluation sweeps
+// over: block-cyclic grid distribution (SOR, Table 4), uniform random and
+// orthogonal-recursive-bisection placement of spatial points (MD-Force,
+// Table 5), and random versus blocked placement of graph nodes (EM3D,
+// Table 6). The execution model adapts to whatever layout it is given
+// ("we focus on efficient execution with respect to a data placement");
+// these layouts are the independent variable of the parallel experiments.
+package layout
+
+import "math/rand"
+
+// BlockCyclic maps a G x G grid onto a P x P processor grid with square
+// blocks of size B (the paper's Table 4 block-cyclic distributions).
+type BlockCyclic struct {
+	G, P, B int
+}
+
+// Node returns the owner of grid point (i, j).
+func (d BlockCyclic) Node(i, j int) int {
+	pi := (i / d.B) % d.P
+	pj := (j / d.B) % d.P
+	return pi*d.P + pj
+}
+
+// LocalFraction returns the fraction of 5-point-stencil neighbor accesses
+// that stay on-node under this distribution (interior points of the grid;
+// grid-boundary points have fewer neighbors and are counted with the
+// neighbors they do have).
+func (d BlockCyclic) LocalFraction() float64 {
+	local, total := 0, 0
+	for i := 0; i < d.G; i++ {
+		for j := 0; j < d.G; j++ {
+			own := d.Node(i, j)
+			for _, nb := range [4][2]int{{i - 1, j}, {i + 1, j}, {i, j - 1}, {i, j + 1}} {
+				if nb[0] < 0 || nb[0] >= d.G || nb[1] < 0 || nb[1] >= d.G {
+					continue
+				}
+				total++
+				if d.Node(nb[0], nb[1]) == own {
+					local++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(local) / float64(total)
+}
+
+// Random assigns n items to nodes uniformly at random (seeded, so layouts
+// are reproducible). This is the paper's low-locality baseline layout.
+func Random(n, nodes int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(nodes)
+	}
+	return a
+}
+
+// Blocked assigns n items to nodes in contiguous equal blocks — the
+// high-locality layout for index-structured data (EM3D's blocked
+// placement).
+func Blocked(n, nodes int) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i * nodes / n
+		if a[i] >= nodes {
+			a[i] = nodes - 1
+		}
+	}
+	return a
+}
+
+// Point3 is a point in 3-space (atom coordinates for MD-Force).
+type Point3 struct{ X, Y, Z float64 }
+
+// ORB assigns points to nodes by orthogonal recursive bisection: the point
+// set is recursively split at the median along its widest axis until one
+// partition per node remains, grouping spatially proximate points — the
+// paper's "spatial layout [which] adopts orthogonal recursive bisection to
+// group together spatially proximate atoms" (Section 4.3.2). nodes must be
+// a power of two.
+func ORB(points []Point3, nodes int) []int {
+	if nodes <= 0 || nodes&(nodes-1) != 0 {
+		panic("layout: ORB requires a power-of-two node count")
+	}
+	assign := make([]int, len(points))
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	orbSplit(points, idx, 0, nodes, assign)
+	return assign
+}
+
+func orbSplit(points []Point3, idx []int, base, nodes int, assign []int) {
+	if nodes == 1 {
+		for _, i := range idx {
+			assign[i] = base
+		}
+		return
+	}
+	axis := widestAxis(points, idx)
+	mid := len(idx) / 2
+	selectByAxis(points, idx, axis, mid)
+	orbSplit(points, idx[:mid], base, nodes/2, assign)
+	orbSplit(points, idx[mid:], base+nodes/2, nodes/2, assign)
+}
+
+func widestAxis(points []Point3, idx []int) int {
+	if len(idx) == 0 {
+		return 0
+	}
+	min := points[idx[0]]
+	max := min
+	for _, i := range idx[1:] {
+		p := points[i]
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+		if p.Z < min.Z {
+			min.Z = p.Z
+		}
+		if p.Z > max.Z {
+			max.Z = p.Z
+		}
+	}
+	dx, dy, dz := max.X-min.X, max.Y-min.Y, max.Z-min.Z
+	switch {
+	case dx >= dy && dx >= dz:
+		return 0
+	case dy >= dz:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func coord(p Point3, axis int) float64 {
+	switch axis {
+	case 0:
+		return p.X
+	case 1:
+		return p.Y
+	default:
+		return p.Z
+	}
+}
+
+// selectByAxis partially sorts idx so idx[:k] holds the k smallest points
+// along axis (quickselect; deterministic median-of-three pivot).
+func selectByAxis(points []Point3, idx []int, axis, k int) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		p := partition(points, idx, axis, lo, hi)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+func partition(points []Point3, idx []int, axis, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	a, b, c := coord(points[idx[lo]], axis), coord(points[idx[mid]], axis), coord(points[idx[hi]], axis)
+	// Median-of-three: move the median value to hi-1... simpler: choose the
+	// median index and swap it to hi as pivot.
+	pi := hi
+	if (a <= b && b <= c) || (c <= b && b <= a) {
+		pi = mid
+	} else if (b <= a && a <= c) || (c <= a && a <= b) {
+		pi = lo
+	}
+	idx[pi], idx[hi] = idx[hi], idx[pi]
+	pv := coord(points[idx[hi]], axis)
+	i := lo
+	for j := lo; j < hi; j++ {
+		if coord(points[idx[j]], axis) < pv {
+			idx[i], idx[j] = idx[j], idx[i]
+			i++
+		}
+	}
+	idx[i], idx[hi] = idx[hi], idx[i]
+	return i
+}

@@ -1,0 +1,182 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockCyclicCoversAllNodes(t *testing.T) {
+	d := BlockCyclic{G: 64, P: 4, B: 4}
+	seen := map[int]int{}
+	for i := 0; i < d.G; i++ {
+		for j := 0; j < d.G; j++ {
+			n := d.Node(i, j)
+			if n < 0 || n >= d.P*d.P {
+				t.Fatalf("node %d out of range", n)
+			}
+			seen[n]++
+		}
+	}
+	if len(seen) != d.P*d.P {
+		t.Fatalf("only %d of %d nodes used", len(seen), d.P*d.P)
+	}
+	// Block-cyclic over a divisible grid is perfectly balanced.
+	want := d.G * d.G / (d.P * d.P)
+	for n, c := range seen {
+		if c != want {
+			t.Fatalf("node %d owns %d points, want %d", n, c, want)
+		}
+	}
+}
+
+func TestBlockCyclicLocalFractionMonotone(t *testing.T) {
+	prev := -1.0
+	for _, b := range []int{1, 2, 4, 8, 16} {
+		f := BlockCyclic{G: 64, P: 4, B: b}.LocalFraction()
+		if f <= prev {
+			t.Fatalf("B=%d: local fraction %v not monotone (prev %v)", b, f, prev)
+		}
+		prev = f
+	}
+	if f := (BlockCyclic{G: 64, P: 4, B: 1}).LocalFraction(); f != 0 {
+		t.Fatalf("B=1 stencil locality = %v, want 0 (every neighbor crosses)", f)
+	}
+}
+
+func TestRandomAssignsInRangeAndDeterministic(t *testing.T) {
+	a := Random(1000, 7, 42)
+	b := Random(1000, 7, 42)
+	for i := range a {
+		if a[i] < 0 || a[i] >= 7 {
+			t.Fatalf("assignment %d out of range", a[i])
+		}
+		if a[i] != b[i] {
+			t.Fatal("Random not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestBlockedContiguous(t *testing.T) {
+	a := Blocked(100, 4)
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("Blocked assignment not monotone")
+		}
+	}
+	counts := map[int]int{}
+	for _, n := range a {
+		counts[n]++
+	}
+	for n := 0; n < 4; n++ {
+		if counts[n] != 25 {
+			t.Fatalf("node %d owns %d, want 25", n, counts[n])
+		}
+	}
+}
+
+func randomPoints(n int, seed int64) []Point3 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point3, n)
+	for i := range pts {
+		pts[i] = Point3{X: rng.Float64() * 100, Y: rng.Float64() * 100, Z: rng.Float64() * 100}
+	}
+	return pts
+}
+
+func TestORBBalanced(t *testing.T) {
+	pts := randomPoints(1024, 9)
+	assign := ORB(pts, 16)
+	counts := map[int]int{}
+	for _, n := range assign {
+		if n < 0 || n >= 16 {
+			t.Fatalf("node %d out of range", n)
+		}
+		counts[n]++
+	}
+	for n := 0; n < 16; n++ {
+		if counts[n] != 64 {
+			t.Fatalf("ORB leaf %d holds %d points, want 64 (exact bisection)", n, counts[n])
+		}
+	}
+}
+
+func TestORBGroupsProximatePoints(t *testing.T) {
+	// Two tight blobs far apart must land on disjoint node sets.
+	var pts []Point3
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()})
+	}
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point3{X: 90 + rng.Float64(), Y: rng.Float64(), Z: rng.Float64()})
+	}
+	assign := ORB(pts, 2)
+	for i := 1; i < 100; i++ {
+		if assign[i] != assign[0] {
+			t.Fatal("first blob split across nodes")
+		}
+		if assign[100+i] != assign[100] {
+			t.Fatal("second blob split across nodes")
+		}
+	}
+	if assign[0] == assign[100] {
+		t.Fatal("blobs not separated")
+	}
+}
+
+func TestORBRequiresPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ORB with 3 nodes did not panic")
+		}
+	}()
+	ORB(randomPoints(9, 1), 3)
+}
+
+// Property: ORB is a partition — every point assigned exactly one node in
+// range, and leaf sizes differ by at most the rounding of repeated halving.
+func TestQuickORBPartition(t *testing.T) {
+	f := func(seed int64, nPow uint8) bool {
+		nodes := 1 << (nPow%4 + 1) // 2..16
+		pts := randomPoints(200+int(seed%100+100)%100, seed)
+		assign := ORB(pts, nodes)
+		counts := make([]int, nodes)
+		for _, n := range assign {
+			if n < 0 || n >= nodes {
+				return false
+			}
+			counts[n]++
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		// Repeated median halving keeps leaves within a few points.
+		return max-min <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: block-cyclic ownership is invariant under shifting by a full
+// P*B period in either dimension.
+func TestQuickBlockCyclicPeriodic(t *testing.T) {
+	f := func(i16, j16 uint8, bPow uint8) bool {
+		b := 1 << (bPow % 4)
+		d := BlockCyclic{G: 1 << 20, P: 8, B: b}
+		i, j := int(i16), int(j16)
+		period := d.P * d.B
+		return d.Node(i, j) == d.Node(i+period, j) &&
+			d.Node(i, j) == d.Node(i, j+period)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package machine provides cost models for the simulated multicomputers.
+//
+// The paper evaluates on SPARC workstations (sequential results, Table 2-3),
+// a 64-node TMC CM-5 and a Cray T3D (parallel results, Tables 4-6). The
+// hardware is long gone; following the reproduction's substitution rule we
+// model each machine as a table of per-primitive instruction costs. All of
+// the paper's results are *relative* (hybrid versus parallel-only execution
+// under varying locality), and those ratios are functions of the relative
+// primitive costs, which these models preserve:
+//
+//   - a C function call costs ~5 instructions on SPARC (register windows)
+//     and 10-15 elsewhere (paper, footnote to Table 2);
+//   - a heap-based parallel invocation costs ~130 instructions (Table 2);
+//   - sequential calling schemas add 6-8 instructions (Table 2);
+//   - fallback costs range 8-140 instructions by scenario (Table 2);
+//   - a remote invocation on the CM-5 costs ~10x a local heap invocation
+//     (Section 4.3.1);
+//   - CM-5 replies are cheap (single packet) while the T3D pays more
+//     software overhead per message but has a faster processor and favors
+//     fewer, longer messages (Section 4.3.3).
+package machine
+
+import "repro/internal/instr"
+
+// Model is the cost table for one simulated machine. All costs are in
+// virtual instructions (see package instr). Fields are grouped by the
+// runtime primitive that charges them.
+type Model struct {
+	Name string
+	// MHz is the processor clock; with single issue, seconds = instr/(MHz*1e6).
+	MHz float64
+
+	// Invocation bases.
+	CCall    instr.Instr // plain function call (call+return)
+	CArgWord instr.Instr // per argument word passed
+
+	// Sequential schema extras, beyond a plain call (Table 2 row "call").
+	NBExtra   instr.Instr // non-blocking: result still via register
+	MBExtra   instr.Instr // may-block: return_val pointer + NULL test
+	CPExtra   instr.Instr // continuation passing: + caller_info plumbing
+	RetViaMem instr.Instr // returning the value through memory
+
+	// Runtime checks performed on every invocation in compiled code.
+	NameTranslate instr.Instr // global name -> node/local address
+	LocalityCheck instr.Instr // is the target object local?
+	LockCheck     instr.Instr // is the target object unlocked?
+
+	// Heap context (parallel invocation) costs.
+	CtxAlloc    instr.Instr // allocate an activation context
+	CtxInitWord instr.Instr // per word of arguments/state stored into it
+	CtxFree     instr.Instr // reclaim a context
+	Enqueue     instr.Instr // push a ready context on the run queue
+	Dequeue     instr.Instr // pop + dispatch (indirect call setup)
+
+	// Futures, touches, continuations.
+	FutureFill     instr.Instr // store value + state transition
+	TouchBase      instr.Instr // set up a touch of a future set
+	TouchPerFuture instr.Instr // per future examined
+	SuspendSave    instr.Instr // suspend bookkeeping when a touch fails
+	ContCreate     instr.Instr // materialize a continuation (lazy creation)
+	ContExtract    instr.Instr // recover a continuation from a proxy context
+	LinkCont       instr.Instr // insert a continuation into a callee context
+
+	// Fallback (unwinding a stack invocation into the heap).
+	FallbackBase    instr.Instr // per frame unwound
+	FallbackPerWord instr.Instr // per live word saved into the context
+
+	// Messaging software overhead (active-message style).
+	MsgSendBase  instr.Instr // compose + inject a request message
+	MsgPerWord   instr.Instr // per payload word (send and receive each)
+	MsgRecvBase  instr.Instr // handler dispatch on arrival
+	ReplySend    instr.Instr // compose + inject a reply
+	ReplyRecv    instr.Instr // reply handler dispatch
+	NetLatency   instr.Instr // one-way network latency, in instruction-times
+	NetPerWord   instr.Instr // additional latency per payload word
+	ReplyLatency instr.Instr // one-way latency of a reply packet
+}
+
+// Seconds converts a virtual-instruction count to seconds on this machine.
+func (m *Model) Seconds(t instr.Instr) float64 { return float64(t) / (m.MHz * 1e6) }
+
+// HeapInvoke returns the aggregate overhead of one local heap-based parallel
+// invocation (allocation, initialization for nargs argument words, enqueue,
+// dequeue/dispatch, and delivering the result to a future). Table 2 reports
+// this as ~130 instructions on the SPARC model.
+func (m *Model) HeapInvoke(nargs int) instr.Instr {
+	return m.CtxAlloc + m.CtxInitWord*instr.Instr(nargs) + m.Enqueue + m.Dequeue +
+		m.CCall + m.FutureFill + m.CtxFree
+}
+
+// RemoteInvoke returns the end-to-end overhead of one remote invocation
+// (request send + latency + handler + reply + reply latency + fill),
+// excluding any execution-model cost at the remote end. On the CM-5 model
+// this is roughly 10x HeapInvoke, matching Section 4.3.1.
+func (m *Model) RemoteInvoke(nargs int) instr.Instr {
+	return m.MsgSendBase + m.MsgPerWord*instr.Instr(nargs) + m.NetLatency +
+		m.MsgRecvBase + m.MsgPerWord*instr.Instr(nargs) +
+		m.ReplySend + m.ReplyLatency + m.ReplyRecv + m.FutureFill
+}
+
+// SPARCStation models the uniprocessor used for the sequential experiments
+// (Tables 2 and 3): a 33 MHz SPARC with register windows, where a C call is
+// ~5 instructions.
+func SPARCStation() *Model {
+	return &Model{
+		Name: "SPARCstation",
+		MHz:  33,
+
+		CCall:    5,
+		CArgWord: 1,
+
+		NBExtra:   2,
+		MBExtra:   4,
+		CPExtra:   12,
+		RetViaMem: 2,
+
+		NameTranslate: 3,
+		LocalityCheck: 2,
+		LockCheck:     2,
+
+		CtxAlloc:    62,
+		CtxInitWord: 2,
+		CtxFree:     16,
+		Enqueue:     18,
+		Dequeue:     26,
+
+		FutureFill:     8,
+		TouchBase:      4,
+		TouchPerFuture: 3,
+		SuspendSave:    10,
+		ContCreate:     16,
+		ContExtract:    6,
+		LinkCont:       8,
+
+		FallbackBase:    48,
+		FallbackPerWord: 3,
+
+		// The workstation model still defines message costs so that the
+		// same programs run unmodified; they are never exercised in the
+		// sequential experiments.
+		MsgSendBase:  120,
+		MsgPerWord:   4,
+		MsgRecvBase:  100,
+		ReplySend:    60,
+		ReplyRecv:    50,
+		NetLatency:   400,
+		NetPerWord:   2,
+		ReplyLatency: 400,
+	}
+}
+
+// CM5 models a 33 MHz SPARC node of the TMC CM-5 with its fat-tree network:
+// low-latency active messages, cheap single-packet replies, but a per-word
+// cost that penalizes long messages (Section 4.3.3: "on the CM-5 replies are
+// inexpensive (a single packet), so the cost of forward's longer messages
+// overwhelms the cost of the larger number of replies").
+func CM5() *Model {
+	m := SPARCStation()
+	m.Name = "CM-5"
+	m.MHz = 33
+	m.MsgSendBase = 240
+	m.MsgPerWord = 14
+	m.MsgRecvBase = 220
+	m.ReplySend = 90 // cheap single-packet reply
+	m.ReplyRecv = 80
+	m.NetLatency = 180
+	m.NetPerWord = 6
+	m.ReplyLatency = 180
+	return m
+}
+
+// T3D models a 150 MHz Alpha 21064 node of the Cray T3D: no register
+// windows (calls cost more), higher per-message software overhead and
+// relatively expensive replies, but a fast network once a message is
+// injected — so reducing message *count* pays off (Section 4.3.3: "the
+// decrease in overall message count enables forward to perform better than
+// push for low locality" on the T3D). The paper notes the T3D port was less
+// mature; the model reflects the measured relative costs, not peak hardware.
+func T3D() *Model {
+	return &Model{
+		Name: "T3D",
+		MHz:  150,
+
+		CCall:    12,
+		CArgWord: 1,
+
+		NBExtra:   3,
+		MBExtra:   6,
+		CPExtra:   16,
+		RetViaMem: 3,
+
+		NameTranslate: 4,
+		LocalityCheck: 3,
+		LockCheck:     3,
+
+		CtxAlloc:    92,
+		CtxInitWord: 3,
+		CtxFree:     24,
+		Enqueue:     30,
+		Dequeue:     46,
+
+		FutureFill:     10,
+		TouchBase:      6,
+		TouchPerFuture: 4,
+		SuspendSave:    14,
+		ContCreate:     22,
+		ContExtract:    8,
+		LinkCont:       10,
+
+		FallbackBase:    62,
+		FallbackPerWord: 4,
+
+		MsgSendBase:  700,
+		MsgPerWord:   10,
+		MsgRecvBase:  620,
+		ReplySend:    420, // replies are not cheap on the T3D
+		ReplyRecv:    360,
+		NetLatency:   300,
+		NetPerWord:   2,
+		ReplyLatency: 300,
+	}
+}
+
+// ByName returns the model with the given name ("sparc", "cm5", "t3d"),
+// or nil if unknown.
+func ByName(name string) *Model {
+	switch name {
+	case "sparc", "sparcstation", "workstation":
+		return SPARCStation()
+	case "cm5", "cm-5":
+		return CM5()
+	case "t3d":
+		return T3D()
+	}
+	return nil
+}

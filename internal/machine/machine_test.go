@@ -1,0 +1,93 @@
+package machine
+
+import "testing"
+
+func TestModelAnchors(t *testing.T) {
+	// The cost models must preserve the paper's anchor ratios.
+	sparc := SPARCStation()
+	if sparc.CCall != 5 {
+		t.Errorf("SPARC C call = %d, want 5 (register windows)", sparc.CCall)
+	}
+	if h := sparc.HeapInvoke(2); h < 110 || h > 160 {
+		t.Errorf("SPARC heap invocation = %d, want ~130", h)
+	}
+	cm5 := CM5()
+	ratio := float64(cm5.RemoteInvoke(2)) / float64(cm5.HeapInvoke(2))
+	if ratio < 6 || ratio > 14 {
+		t.Errorf("CM-5 remote/local ratio = %.1f, want ~10 (Section 4.3.1)", ratio)
+	}
+	t3d := T3D()
+	if t3d.CCall <= sparc.CCall {
+		t.Error("T3D call should cost more than SPARC (no register windows)")
+	}
+	if t3d.MHz <= cm5.MHz {
+		t.Error("T3D clock should exceed CM-5")
+	}
+	// CM-5 replies are cheap relative to requests; T3D replies are not.
+	if float64(cm5.ReplySend)/float64(cm5.MsgSendBase) >
+		float64(t3d.ReplySend)/float64(t3d.MsgSendBase) {
+		t.Error("reply/request cost ratio should be lower on the CM-5")
+	}
+}
+
+func TestSchemaExtrasOrdered(t *testing.T) {
+	for _, m := range []*Model{SPARCStation(), CM5(), T3D()} {
+		if !(m.NBExtra < m.MBExtra && m.MBExtra < m.CPExtra) {
+			t.Errorf("%s: schema extras not ordered NB < MB < CP", m.Name)
+		}
+		if m.NBExtra <= 0 {
+			t.Errorf("%s: non-positive NB extra", m.Name)
+		}
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	m := SPARCStation() // 33 MHz
+	if got := m.Seconds(33_000_000); got != 1.0 {
+		t.Errorf("33M instructions = %v s, want 1.0", got)
+	}
+	if got := m.Seconds(0); got != 0 {
+		t.Errorf("0 instructions = %v s, want 0", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"cm5": "CM-5", "cm-5": "CM-5", "t3d": "T3D",
+		"sparc": "SPARCstation", "workstation": "SPARCstation",
+	} {
+		m := ByName(name)
+		if m == nil || m.Name != want {
+			t.Errorf("ByName(%q) = %v, want %s", name, m, want)
+		}
+	}
+	if ByName("cray-1") != nil {
+		t.Error("unknown machine should return nil")
+	}
+}
+
+func TestModelsIndependent(t *testing.T) {
+	// Each call returns a fresh model: tuning one must not leak.
+	a := CM5()
+	a.CCall = 999
+	if CM5().CCall == 999 {
+		t.Error("CM5() returned shared state")
+	}
+}
+
+func TestAllCostsPositive(t *testing.T) {
+	for _, m := range []*Model{SPARCStation(), CM5(), T3D()} {
+		for name, v := range map[string]int64{
+			"CCall": int64(m.CCall), "CtxAlloc": int64(m.CtxAlloc),
+			"Enqueue": int64(m.Enqueue), "Dequeue": int64(m.Dequeue),
+			"FutureFill": int64(m.FutureFill), "MsgSendBase": int64(m.MsgSendBase),
+			"MsgRecvBase": int64(m.MsgRecvBase), "NetLatency": int64(m.NetLatency),
+			"ReplySend": int64(m.ReplySend), "FallbackBase": int64(m.FallbackBase),
+			"ContCreate": int64(m.ContCreate), "LinkCont": int64(m.LinkCont),
+		} {
+			if v <= 0 {
+				t.Errorf("%s: %s = %d, want > 0", m.Name, name, v)
+			}
+		}
+	}
+}

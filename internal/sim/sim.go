@@ -1,0 +1,246 @@
+// Package sim implements a deterministic discrete-event simulator of a
+// distributed-memory multicomputer. It stands in for the paper's CM-5 and
+// T3D: each node is a sequential processor with its own virtual clock
+// (measured in instructions, see package instr), and nodes exchange messages
+// over a network with configurable latency.
+//
+// The engine is sequential and fully deterministic: events are ordered by
+// (time, insertion sequence), so identical inputs always produce identical
+// virtual executions regardless of the host machine.
+//
+// The division of labor with the runtime (internal/core) is: sim owns
+// virtual time, event dispatch, and message transport timing; the runtime
+// owns what a node *does* when it has work (scheduling contexts, running
+// message handlers). The runtime plugs in as a Runner.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/instr"
+)
+
+// Time is virtual time, in instructions (single-issue processors).
+type Time = instr.Instr
+
+// Runner is the per-node work source supplied by the runtime layer.
+type Runner interface {
+	// RunOne executes the next pending task on node n — a message handler
+	// or a ready context — advancing n.Clock and charging n.Counters.
+	// It returns false if the node has no pending work.
+	RunOne(n *Node) bool
+}
+
+// Node is one simulated processor.
+type Node struct {
+	ID    int
+	Clock Time // this processor's virtual time
+	// Counters records where this node's instructions went.
+	Counters instr.Counters
+
+	// Message statistics.
+	MsgsSent  int64
+	MsgsRecv  int64
+	WordsSent int64
+
+	eng         *Engine
+	pumpPending bool
+}
+
+// Engine is the discrete-event core.
+type Engine struct {
+	nodes  []*Node
+	events eventHeap
+	seq    uint64
+	now    Time
+	runner Runner
+
+	// EventCount is the total number of events dispatched.
+	EventCount int64
+}
+
+// NewEngine creates an engine with n nodes, all clocks at zero.
+func NewEngine(n int) *Engine {
+	e := &Engine{nodes: make([]*Node, n)}
+	for i := range e.nodes {
+		e.nodes[i] = &Node{ID: i, eng: e}
+	}
+	return e
+}
+
+// SetRunner installs the work source shared by all nodes. It must be set
+// before Run.
+func (e *Engine) SetRunner(r Runner) { e.runner = r }
+
+// Nodes returns the simulated nodes.
+func (e *Engine) Nodes() []*Node { return e.nodes }
+
+// Node returns node i.
+func (e *Engine) Node(i int) *Node { return e.nodes[i] }
+
+// NumNodes returns the machine size.
+func (e *Engine) NumNodes() int { return len(e.nodes) }
+
+// Now returns the engine's current event time. Individual node clocks may
+// be ahead of it (a node executes a whole task within one event).
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run at virtual time at. Scheduling in the past
+// (before the current event time) is a programming error and panics: it
+// would break determinism.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// Wake ensures node n will get a chance to run pending work. If a pump is
+// already scheduled for n this is a no-op; otherwise a pump event is
+// scheduled at the node's current clock (or now, whichever is later).
+func (e *Engine) Wake(n *Node) {
+	if n.pumpPending {
+		return
+	}
+	n.pumpPending = true
+	at := e.now
+	if n.Clock > at {
+		at = n.Clock
+	}
+	e.Schedule(at, func() { e.pump(n) })
+}
+
+// pump runs exactly one task on n, then reschedules itself while work
+// remains. Idle time (clock behind event time) is charged to OpIdle.
+func (e *Engine) pump(n *Node) {
+	n.pumpPending = false
+	if n.Clock < e.now {
+		n.Counters.Add(instr.OpIdle, e.now-n.Clock)
+		n.Clock = e.now
+	}
+	if e.runner.RunOne(n) {
+		n.pumpPending = true
+		at := n.Clock
+		if at < e.now {
+			at = e.now
+		}
+		e.Schedule(at, func() { e.pump(n) })
+	}
+}
+
+// Send transports a message from node `from` (at from's current clock) to
+// node `to`, delivering after `latency` virtual time units. The deliver
+// callback runs at arrival time, after which the destination node is woken.
+// Payload words are counted for statistics only; serialization costs are
+// charged by the runtime layer.
+func (e *Engine) Send(from, to *Node, latency Time, words int, deliver func()) {
+	from.MsgsSent++
+	from.WordsSent += int64(words)
+	arrive := from.Clock + latency
+	if arrive < e.now {
+		arrive = e.now
+	}
+	e.Schedule(arrive, func() {
+		to.MsgsRecv++
+		deliver()
+		e.Wake(to)
+	})
+}
+
+// Run dispatches events until none remain. The runtime layer keeps nodes
+// pumping while they have work, so an empty event queue means global
+// quiescence: every node idle with empty queues.
+func (e *Engine) Run() {
+	for e.events.Len() > 0 {
+		e.step()
+	}
+}
+
+// RunUntil dispatches events with time <= t, then stops. It returns true if
+// events remain.
+func (e *Engine) RunUntil(t Time) bool {
+	for e.events.Len() > 0 && e.events[0].at <= t {
+		e.step()
+	}
+	return e.events.Len() > 0
+}
+
+// Step dispatches a single event, returning false if none remain.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	e.step()
+	return true
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.EventCount++
+	ev.fn()
+}
+
+// MaxClock returns the maximum node clock — the parallel completion time.
+func (e *Engine) MaxClock() Time {
+	var m Time
+	for _, n := range e.nodes {
+		if n.Clock > m {
+			m = n.Clock
+		}
+	}
+	return m
+}
+
+// TotalCounters sums the per-node counters.
+func (e *Engine) TotalCounters() instr.Counters {
+	var c instr.Counters
+	for _, n := range e.nodes {
+		c.AddAll(&n.Counters)
+	}
+	return c
+}
+
+// TotalMessages returns the total number of messages sent.
+func (e *Engine) TotalMessages() int64 {
+	var m int64
+	for _, n := range e.nodes {
+		m += n.MsgsSent
+	}
+	return m
+}
+
+// Charge advances node n's clock by cost instructions, accounted under op.
+func Charge(n *Node, op instr.Op, cost instr.Instr) {
+	n.Clock += cost
+	n.Counters.Add(op, cost)
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,116 @@
+// Package stats provides small helpers for the experiment harnesses:
+// ratio/speedup arithmetic and plain-text table rendering in the shape of
+// the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Speedup returns base/improved, the paper's speedup convention.
+func Speedup(base, improved float64) float64 {
+	if improved == 0 {
+		return 0
+	}
+	return base / improved
+}
+
+// Ratio formats a local:remote style ratio like the paper's Table 4/6
+// headers (e.g. "12.4:1", "0.0156:1").
+func Ratio(local, remote float64) string {
+	if remote == 0 {
+		return "inf:1"
+	}
+	r := local / remote
+	switch {
+	case r >= 10:
+		return fmt.Sprintf("%.0f:1", r)
+	case r >= 1:
+		return fmt.Sprintf("%.1f:1", r)
+	default:
+		return fmt.Sprintf("%.4f:1", r)
+	}
+}
+
+// Seconds formats a time like the paper's tables (seconds, 2-3 significant
+// decimals).
+func Seconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 10:
+		return fmt.Sprintf("%.1f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	case s >= 0.1:
+		return fmt.Sprintf("%.3f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// Table renders aligned plain-text tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, "  note:", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(2, 1); got != 2 {
+		t.Errorf("Speedup(2,1) = %v", got)
+	}
+	if got := Speedup(1, 0); got != 0 {
+		t.Errorf("Speedup(x,0) = %v, want 0", got)
+	}
+}
+
+func TestRatioFormats(t *testing.T) {
+	for _, tc := range []struct {
+		local, remote float64
+		want          string
+	}{
+		{99, 1, "99:1"},
+		{3.2, 2, "1.6:1"},
+		{0.0156, 1, "0.0156:1"},
+		{1, 0, "inf:1"},
+	} {
+		if got := Ratio(tc.local, tc.remote); got != tc.want {
+			t.Errorf("Ratio(%v,%v) = %q, want %q", tc.local, tc.remote, got, tc.want)
+		}
+	}
+}
+
+func TestSecondsFormats(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{123.4, "123"},
+		{12.34, "12.3"},
+		{1.234, "1.23"},
+		{0.1234, "0.123"},
+		{0.01234, "0.0123"},
+	} {
+		if got := Seconds(tc.in); got != tc.want {
+			t.Errorf("Seconds(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "22222")
+	tab.AddNote("a note %d", 7)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "name", "-----", "alpha", "22222", "note: a note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and separator must align to the same width.
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count: %v", lines)
+	}
+}

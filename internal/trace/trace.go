@@ -1,0 +1,152 @@
+// Package trace records execution-model events from a simulated run: every
+// invocation, speculative stack call, fallback, suspension, wake-up,
+// message and completion, stamped with the owning node and its virtual
+// clock. Traces explain *why* a configuration performs as it does — e.g.
+// the fallback storm at SOR's lowest-locality point, or wrappers absorbing
+// EM3D's low-locality requests — and feed the timeline renderer.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/instr"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// KInvoke: an invocation was issued (Aux: 0 local, 1 remote).
+	KInvoke Kind = iota
+	// KStackCall: a speculative sequential execution began.
+	KStackCall
+	// KFallback: a stack frame was promoted to a heap context.
+	KFallback
+	// KCtxAlloc: a heap context was allocated for a parallel invocation.
+	KCtxAlloc
+	// KSuspend: a context suspended on an unsatisfied touch (Aux: missing).
+	KSuspend
+	// KWake: a suspended context became runnable again.
+	KWake
+	// KMsgSend: a request or reply message was injected (Aux: words).
+	KMsgSend
+	// KMsgRecv: a message was handled (Aux: words).
+	KMsgRecv
+	// KWrapper: an arriving request ran from the buffer on the stack.
+	KWrapper
+	// KReply: an activation determined its result.
+	KReply
+	// KComplete: an activation retired.
+	KComplete
+
+	// NumKinds is the number of event kinds.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"invoke", "stackcall", "fallback", "ctxalloc", "suspend",
+	"wake", "send", "recv", "wrapper", "reply", "complete",
+}
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     instr.Instr // the node's virtual clock when recorded
+	Node   int32
+	Kind   Kind
+	Method string
+	Aux    int64
+}
+
+// Buffer is a bounded in-memory trace. When full, the oldest events are
+// overwritten (ring); Dropped counts overwrites. The zero value is unusable;
+// call NewBuffer.
+type Buffer struct {
+	events  []Event
+	start   int
+	n       int
+	Dropped int64
+	counts  [NumKinds]int64
+}
+
+// NewBuffer creates a trace buffer retaining up to cap events.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Buffer{events: make([]Event, capacity)}
+}
+
+// Record implements the runtime's tracer hook.
+func (b *Buffer) Record(node int, at instr.Instr, kind uint8, method string, aux int64) {
+	k := Kind(kind)
+	if k < NumKinds {
+		b.counts[k]++
+	}
+	idx := (b.start + b.n) % len(b.events)
+	b.events[idx] = Event{At: at, Node: int32(node), Kind: k, Method: method, Aux: aux}
+	if b.n < len(b.events) {
+		b.n++
+	} else {
+		b.start = (b.start + 1) % len(b.events)
+		b.Dropped++
+	}
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int { return b.n }
+
+// Events returns the retained events, oldest first.
+func (b *Buffer) Events() []Event {
+	out := make([]Event, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.events[(b.start+i)%len(b.events)]
+	}
+	return out
+}
+
+// Count returns the total occurrences of kind k, including overwritten ones.
+func (b *Buffer) Count(k Kind) int64 { return b.counts[k] }
+
+// Summary writes per-kind totals.
+func (b *Buffer) Summary(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d events retained (%d dropped)\n", b.n, b.Dropped)
+	for k := Kind(0); k < NumKinds; k++ {
+		if b.counts[k] > 0 {
+			fmt.Fprintf(w, "  %-10s %d\n", k, b.counts[k])
+		}
+	}
+}
+
+// Timeline writes the retained events in global time order, one line per
+// event, restricted to [from, to] (inclusive; to <= 0 means no upper bound).
+func (b *Buffer) Timeline(w io.Writer, from, to instr.Instr) {
+	evs := b.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, e := range evs {
+		if e.At < from || (to > 0 && e.At > to) {
+			continue
+		}
+		fmt.Fprintf(w, "%10d n%-3d %-10s %-20s %d\n", e.At, e.Node, e.Kind, e.Method, e.Aux)
+	}
+}
+
+// PerNode returns per-node event counts of a given kind.
+func (b *Buffer) PerNode(k Kind) map[int32]int64 {
+	out := map[int32]int64{}
+	for _, e := range b.Events() {
+		if e.Kind == k {
+			out[e.Node]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/instr"
+)
+
+func TestRingRetentionAndCounts(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Record(0, instr.Instr(i), uint8(KInvoke), "m", int64(i))
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d, want 4", b.Len())
+	}
+	if b.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", b.Dropped)
+	}
+	evs := b.Events()
+	for i, e := range evs {
+		if e.Aux != int64(6+i) {
+			t.Fatalf("ring kept wrong events: %+v", evs)
+		}
+	}
+	if b.Count(KInvoke) != 10 {
+		t.Fatalf("count = %d, want 10 (includes overwritten)", b.Count(KInvoke))
+	}
+}
+
+func TestSummaryAndTimeline(t *testing.T) {
+	b := NewBuffer(16)
+	b.Record(0, 100, uint8(KStackCall), "fib", 0)
+	b.Record(1, 50, uint8(KFallback), "fib", 0)
+	b.Record(0, 200, uint8(KMsgSend), "get", 6)
+
+	var sb strings.Builder
+	b.Summary(&sb)
+	out := sb.String()
+	for _, want := range []string{"stackcall", "fallback", "send", "3 events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	b.Timeline(&sb, 0, 0)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines = %d, want 3", len(lines))
+	}
+	// Sorted by time: fallback(50) first.
+	if !strings.Contains(lines[0], "fallback") {
+		t.Errorf("timeline not time-ordered:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	b.Timeline(&sb, 90, 150)
+	if got := strings.TrimSpace(sb.String()); !strings.Contains(got, "stackcall") || strings.Contains(got, "send") {
+		t.Errorf("timeline window wrong:\n%s", got)
+	}
+}
+
+func TestPerNode(t *testing.T) {
+	b := NewBuffer(16)
+	b.Record(0, 1, uint8(KFallback), "a", 0)
+	b.Record(2, 2, uint8(KFallback), "b", 0)
+	b.Record(2, 3, uint8(KFallback), "c", 0)
+	b.Record(2, 4, uint8(KWake), "c", 0)
+	per := b.PerNode(KFallback)
+	if per[0] != 1 || per[2] != 2 || len(per) != 2 {
+		t.Fatalf("per-node = %v", per)
+	}
+}
+
+func TestKindNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		s := k.String()
+		if seen[s] || s == "kind?" {
+			t.Fatalf("bad kind name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,151 @@
+// Package structures provides user-defined communication and
+// synchronization structures built from the runtime's first-class
+// continuations — the paper's Figure 3 and Section 3.3: "user defined
+// communication and synchronization structures [can] be executed on the
+// stack", with proxy contexts adapting stored continuations to the calling
+// conventions.
+//
+// Each structure is a kit: Build registers its methods into a program once;
+// instances are then ordinary objects placed on any node. The structures
+// capture the continuations of arriving callers (lazy continuation
+// creation, Section 3.2.3) and determine them when their condition is met:
+//
+//   - Barrier: releases all participants when the last one arrives;
+//   - Reducer: combines integer contributions and delivers the total to
+//     every contributor when complete;
+//   - Cell: a single-assignment I-structure — reads before the write are
+//     suspended and released by it, later reads complete on the stack.
+package structures
+
+import "repro/internal/core"
+
+// Kit bundles the registered structure methods for one program.
+type Kit struct {
+	// BarrierArrive(): capture until the expected count arrives, then
+	// release everyone with the count.
+	BarrierArrive *core.Method
+	// ReducerAdd(v): contribute v; all contributors receive the total.
+	ReducerAdd *core.Method
+	// CellWrite(v): determine the cell; releases pending readers.
+	CellWrite *core.Method
+	// CellRead(): the cell's value, suspending if not yet written.
+	CellRead *core.Method
+}
+
+// Barrier is the object state for BarrierArrive.
+type Barrier struct {
+	Expect  int
+	arrived int
+	waiters []core.Cont
+}
+
+// NewBarrier creates barrier state expecting n participants. The barrier
+// is reusable: after releasing, it resets for the next round.
+func NewBarrier(n int) *Barrier { return &Barrier{Expect: n} }
+
+// Reducer is the object state for ReducerAdd.
+type Reducer struct {
+	Expect  int
+	arrived int
+	sum     int64
+	waiters []core.Cont
+}
+
+// NewReducer creates reducer state expecting n contributions per round.
+func NewReducer(n int) *Reducer { return &Reducer{Expect: n} }
+
+// Cell is the object state for CellWrite/CellRead.
+type Cell struct {
+	full    bool
+	val     core.Word
+	readers []core.Cont
+}
+
+// NewCell creates an empty single-assignment cell.
+func NewCell() *Cell { return &Cell{} }
+
+// Build registers the structure methods into p and returns the kit. All
+// methods capture continuations, so the analysis assigns them the
+// continuation-passing schema; invoked locally they still execute on the
+// stack, and when a structure's condition is already met the caller is
+// answered synchronously (e.g. reading a written Cell is a plain call).
+func Build(p *core.Program) *Kit {
+	k := &Kit{}
+
+	k.BarrierArrive = &core.Method{Name: "structures.barrierArrive", Captures: true}
+	k.BarrierArrive.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		b := fr.Node.State(fr.Self).(*Barrier)
+		b.arrived++
+		rt.Work(fr, 6)
+		if b.arrived == b.Expect {
+			// Last arrival: answer everyone, including ourselves, and reset.
+			n := core.IntW(int64(b.arrived))
+			for _, w := range b.waiters {
+				rt.DeliverCont(fr.Node, w, n, false)
+			}
+			b.waiters = b.waiters[:0]
+			b.arrived = 0
+			rt.Reply(fr, n)
+			return core.Done
+		}
+		b.waiters = append(b.waiters, rt.CaptureCont(fr))
+		return core.Forwarded
+	}
+	p.Add(k.BarrierArrive)
+
+	k.ReducerAdd = &core.Method{Name: "structures.reducerAdd", NArgs: 1, Captures: true}
+	k.ReducerAdd.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		r := fr.Node.State(fr.Self).(*Reducer)
+		r.arrived++
+		r.sum += fr.Arg(0).Int()
+		rt.Work(fr, 8)
+		if r.arrived == r.Expect {
+			total := core.IntW(r.sum)
+			for _, w := range r.waiters {
+				rt.DeliverCont(fr.Node, w, total, false)
+			}
+			r.waiters = r.waiters[:0]
+			r.arrived = 0
+			r.sum = 0
+			rt.Reply(fr, total)
+			return core.Done
+		}
+		r.waiters = append(r.waiters, rt.CaptureCont(fr))
+		return core.Forwarded
+	}
+	p.Add(k.ReducerAdd)
+
+	k.CellWrite = &core.Method{Name: "structures.cellWrite", NArgs: 1}
+	k.CellWrite.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := fr.Node.State(fr.Self).(*Cell)
+		if c.full {
+			panic("structures: Cell written twice")
+		}
+		c.full = true
+		c.val = fr.Arg(0)
+		rt.Work(fr, 5)
+		for _, rd := range c.readers {
+			rt.DeliverCont(fr.Node, rd, c.val, false)
+		}
+		c.readers = nil
+		rt.Reply(fr, 0)
+		return core.Done
+	}
+	p.Add(k.CellWrite)
+
+	k.CellRead = &core.Method{Name: "structures.cellRead", Captures: true}
+	k.CellRead.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := fr.Node.State(fr.Self).(*Cell)
+		rt.Work(fr, 3)
+		if c.full {
+			// Already determined: a plain synchronous read on the stack.
+			rt.Reply(fr, c.val)
+			return core.Done
+		}
+		c.readers = append(c.readers, rt.CaptureCont(fr))
+		return core.Forwarded
+	}
+	p.Add(k.CellRead)
+
+	return k
+}

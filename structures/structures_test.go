@@ -1,0 +1,204 @@
+package structures
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// harness builds a program with the kit plus a driver that exercises one
+// structure from several nodes.
+type harness struct {
+	prog *core.Program
+	kit  *Kit
+}
+
+func newHarness() *harness {
+	p := core.NewProgram()
+	return &harness{prog: p, kit: Build(p)}
+}
+
+func (h *harness) run(t *testing.T, nodes int, cfg core.Config,
+	setup func(rt *core.RT) []*core.Result) []*core.Result {
+	t.Helper()
+	if err := h.prog.Resolve(cfg.Interfaces); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(nodes)
+	rt := core.NewRT(eng, machine.CM5(), h.prog, cfg)
+	results := setup(rt)
+	rt.Run()
+	for i, r := range results {
+		if !r.Done {
+			t.Fatalf("result %d incomplete", i)
+		}
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// client invokes a structure method once and replies the result.
+func (h *harness) client(name string, target func() *core.Method) *core.Method {
+	m := &core.Method{Name: name, NArgs: 2, NFutures: 1, MayBlockLocal: true}
+	m.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, target(), fr.Arg(0).Ref(), 0, fr.Arg(1))
+			fr.PC = 1
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, core.Mask(0)) {
+				return core.Unwound
+			}
+			rt.Reply(fr, fr.Fut(0))
+			return core.Done
+		}
+		panic("bad pc")
+	}
+	m.Calls = []*core.Method{target()}
+	h.prog.Add(m)
+	return m
+}
+
+func TestBarrierReleasesAll(t *testing.T) {
+	for _, cfg := range []core.Config{core.DefaultHybrid(), core.ParallelOnly()} {
+		h := newHarness()
+		cl := h.client("bar.client", func() *core.Method { return h.kit.BarrierArrive })
+		const parts = 5
+		res := h.run(t, 4, cfg, func(rt *core.RT) []*core.Result {
+			bar := rt.Node(0).NewObject(NewBarrier(parts))
+			var out []*core.Result
+			for i := 0; i < parts; i++ {
+				n := i % 4
+				obj := rt.Node(n).NewObject(nil)
+				r := &core.Result{}
+				rt.StartOn(n, cl, obj, r, core.RefW(bar), 0)
+				out = append(out, r)
+			}
+			return out
+		})
+		for i, r := range res {
+			if r.Val.Int() != parts {
+				t.Fatalf("hybrid=%v participant %d got %d, want %d", cfg.Hybrid, i, r.Val.Int(), parts)
+			}
+		}
+	}
+}
+
+func TestBarrierReusableAcrossRounds(t *testing.T) {
+	h := newHarness()
+	// driver arrives twice in sequence.
+	drv := &core.Method{Name: "bar.twice", NArgs: 1, NFutures: 2, MayBlockLocal: true,
+		Calls: []*core.Method{h.kit.BarrierArrive}}
+	drv.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, h.kit.BarrierArrive, fr.Arg(0).Ref(), 0)
+			fr.PC = 1
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, core.Mask(0)) {
+				return core.Unwound
+			}
+			st := rt.Invoke(fr, h.kit.BarrierArrive, fr.Arg(0).Ref(), 1)
+			fr.PC = 2
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 2:
+			if !rt.TouchAll(fr, core.Mask(1)) {
+				return core.Unwound
+			}
+			rt.Reply(fr, core.IntW(fr.Fut(0).Int()+fr.Fut(1).Int()))
+			return core.Done
+		}
+		panic("bad pc")
+	}
+	h.prog.Add(drv)
+	res := h.run(t, 1, core.DefaultHybrid(), func(rt *core.RT) []*core.Result {
+		bar := rt.Node(0).NewObject(NewBarrier(1)) // single participant: trivial barrier
+		obj := rt.Node(0).NewObject(nil)
+		r := &core.Result{}
+		rt.StartOn(0, drv, obj, r, core.RefW(bar))
+		return []*core.Result{r}
+	})
+	if res[0].Val.Int() != 2 {
+		t.Fatalf("two rounds returned %d, want 2", res[0].Val.Int())
+	}
+}
+
+func TestReducerCombines(t *testing.T) {
+	for _, cfg := range []core.Config{core.DefaultHybrid(), core.ParallelOnly()} {
+		h := newHarness()
+		cl := h.client("red.client", func() *core.Method { return h.kit.ReducerAdd })
+		const parts = 6
+		res := h.run(t, 3, cfg, func(rt *core.RT) []*core.Result {
+			red := rt.Node(1).NewObject(NewReducer(parts))
+			var out []*core.Result
+			for i := 0; i < parts; i++ {
+				n := i % 3
+				obj := rt.Node(n).NewObject(nil)
+				r := &core.Result{}
+				rt.StartOn(n, cl, obj, r, core.RefW(red), core.IntW(int64(i+1)))
+				out = append(out, r)
+			}
+			return out
+		})
+		want := int64(1 + 2 + 3 + 4 + 5 + 6)
+		for i, r := range res {
+			if r.Val.Int() != want {
+				t.Fatalf("hybrid=%v contributor %d got %d, want %d", cfg.Hybrid, i, r.Val.Int(), want)
+			}
+		}
+	}
+}
+
+func TestCellReadBeforeAndAfterWrite(t *testing.T) {
+	h := newHarness()
+	reader := h.client("cell.reader", func() *core.Method { return h.kit.CellRead })
+	writer := h.client("cell.writer", func() *core.Method { return h.kit.CellWrite })
+	res := h.run(t, 2, core.DefaultHybrid(), func(rt *core.RT) []*core.Result {
+		cell := rt.Node(0).NewObject(NewCell())
+		r1 := &core.Result{}
+		obj1 := rt.Node(1).NewObject(nil)
+		rt.StartOn(1, reader, obj1, r1, core.RefW(cell), 0) // reads before write
+		rw := &core.Result{}
+		objW := rt.Node(0).NewObject(nil)
+		rt.StartOn(0, writer, objW, rw, core.RefW(cell), core.IntW(77))
+		r2 := &core.Result{}
+		obj2 := rt.Node(0).NewObject(nil)
+		rt.StartOn(0, reader, obj2, r2, core.RefW(cell), 0) // may read after
+		return []*core.Result{r1, rw, r2}
+	})
+	if res[0].Val.Int() != 77 || res[2].Val.Int() != 77 {
+		t.Fatalf("cell reads = %d, %d; want 77, 77", res[0].Val.Int(), res[2].Val.Int())
+	}
+}
+
+// TestCellSchemas: reading a full cell is stack-synchronous; writing never
+// blocks. The analysis must give CellWrite NB and the capturing methods CP.
+func TestCellSchemas(t *testing.T) {
+	h := newHarness()
+	if err := h.prog.Resolve(core.Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	if h.kit.CellWrite.Required != core.SchemaNB {
+		t.Errorf("CellWrite schema = %v, want NB", h.kit.CellWrite.Required)
+	}
+	for _, m := range []*core.Method{h.kit.CellRead, h.kit.BarrierArrive, h.kit.ReducerAdd} {
+		if m.Required != core.SchemaCP {
+			t.Errorf("%s schema = %v, want CP", m.Name, m.Required)
+		}
+	}
+}
