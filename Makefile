@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench tables figure9 examples cover clean
+.PHONY: all build test bench bench-json tables figure9 examples cover clean
 
 all: build test
 
@@ -19,7 +19,11 @@ record:
 	$(GO) test -bench=. -benchmem -run XXXnone ./... 2>&1 | tee bench_output.txt
 
 bench:
-	$(GO) test -bench=. -benchmem -run XXXnone .
+	$(GO) test -bench=. -benchmem -run XXXnone ./...
+
+# Same benchmarks as machine-readable go-test JSON events, for dashboards.
+bench-json:
+	$(GO) test -bench=. -benchmem -run XXXnone -json ./...
 
 tables:
 	$(GO) run ./cmd/tables -scale medium

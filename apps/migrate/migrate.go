@@ -1,0 +1,517 @@
+// Package migrate is the evaluation application for dynamic object
+// migration (Table 7): the MD-Force kernel of apps/mdforce restructured
+// into fine-grained objects so that placement can change mid-run.
+//
+// Where mdforce owns one chunk object per node (placement is fixed by
+// construction), here each spatial cluster of atoms is its own Cell object,
+// and the runtime is free to move cells between nodes while the program
+// runs. The computation iterates: each iteration every cell clears its
+// remote-coordinate cache, evaluates its pair list (fetching partner
+// coordinates from other cells on a miss), and flushes combined force
+// increments back to the partners. Positions never change, so the
+// communication graph is identical every iteration — exactly the
+// steady-state traffic an adaptive policy can learn from.
+//
+// Cross-cell pairs always use the fetch/cache/pending-increment path even
+// when both cells share a node, so the floating-point arithmetic is
+// placement-invariant: any placement (and any migration history) yields the
+// same forces up to message-arrival summation order, and every run is
+// verified against the plain-Go reference to a tight relative tolerance.
+package migrate
+
+import (
+	"repro/apps/mdforce"
+	"repro/internal/core"
+	"repro/internal/instr"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// pairWork is the useful work of one pair-force evaluation.
+const pairWork instr.Instr = 60
+
+// cacheWork is the bookkeeping cost of a cache lookup/insert.
+const cacheWork instr.Instr = 8
+
+// Pair is one cutoff pair, stored on the cell that owns atom I.
+type Pair struct {
+	I       int // local atom index within the owning cell
+	JCell   core.Ref
+	JIdx    int // index within JCell
+	JGlobal int // global atom id (cache key)
+	JSame   bool
+}
+
+// Cell is one migratable object: a spatial cluster's atoms, its pair list,
+// the remote-coordinate cache and the combined pending force increments.
+type Cell struct {
+	Self   core.Ref
+	Pos    [][3]float64
+	Force  [][3]float64
+	Global []int // local index -> global atom id
+	Pairs  []Pair
+
+	Cache   map[int][3]float64
+	Pending map[int]*pendingForce
+
+	flushCache []*pendingForce
+}
+
+// MigrateWords models the cell's serialized size: positions and forces
+// (6 words per atom), the pair list (5 words per pair), and a header. This
+// is what a migration message is charged for.
+func (c *Cell) MigrateWords() int { return 2 + 6*len(c.Pos) + 5*len(c.Pairs) }
+
+type pendingForce struct {
+	cell core.Ref
+	idx  int
+	f    [3]float64
+}
+
+// Coord is the coordinator object driving the iteration phases.
+type Coord struct {
+	Cells []core.Ref
+	Iters int
+}
+
+// Methods bundles the migrating MD-Force program.
+type Methods struct {
+	Prog *core.Program
+	Main *core.Method
+
+	pairForce   *core.Method
+	fetchCoords *core.Method
+	fillCache   *core.Method
+	addForce    *core.Method
+	cellReset   *core.Method
+	cellPairs   *core.Method
+	cellFlush   *core.Method
+}
+
+// Build registers the methods.
+func Build() *Methods {
+	p := core.NewProgram()
+	m := &Methods{Prog: p}
+
+	// fillCache(gid, x, y, z): store fetched coordinates in the requesting
+	// cell's cache; the ack determines the original fetch continuation.
+	m.fillCache = &core.Method{Name: "mig.fillCache", NArgs: 4}
+	m.fillCache.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := fr.Node.State(fr.Self).(*Cell)
+		c.Cache[int(fr.Arg(0).Int())] = [3]float64{fr.Arg(1).Float(), fr.Arg(2).Float(), fr.Arg(3).Float()}
+		rt.Work(fr, cacheWork)
+		rt.Reply(fr, 0)
+		return core.Done
+	}
+	p.Add(m.fillCache)
+
+	// fetchCoords(idx, gid, requester): the partner cell forwards its reply
+	// obligation to a cache fill on the requesting cell.
+	m.fetchCoords = &core.Method{Name: "mig.fetchCoords", NArgs: 3, Captures: true,
+		Forwards: []*core.Method{m.fillCache}}
+	m.fetchCoords.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := fr.Node.State(fr.Self).(*Cell)
+		idx := int(fr.Arg(0).Int())
+		pos := c.Pos[idx]
+		return rt.ForwardTail(fr, m.fillCache, fr.Arg(2).Ref(),
+			fr.Arg(1), core.FloatW(pos[0]), core.FloatW(pos[1]), core.FloatW(pos[2]))
+	}
+	p.Add(m.fetchCoords)
+
+	// addForce(idx, fx, fy, fz): apply a combined force increment.
+	m.addForce = &core.Method{Name: "mig.addForce", NArgs: 4}
+	m.addForce.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := fr.Node.State(fr.Self).(*Cell)
+		idx := int(fr.Arg(0).Int())
+		c.Force[idx][0] += fr.Arg(1).Float()
+		c.Force[idx][1] += fr.Arg(2).Float()
+		c.Force[idx][2] += fr.Arg(3).Float()
+		rt.Work(fr, cacheWork)
+		rt.Reply(fr, 0)
+		return core.Done
+	}
+	p.Add(m.addForce)
+
+	// pairForce(pairIdx): evaluate one cutoff pair. Same-cell pairs compute
+	// both sides directly; cross-cell pairs always go through the
+	// fetch/cache/pending path so arithmetic is placement-invariant.
+	m.pairForce = &core.Method{Name: "mig.pairForce", NArgs: 1, NFutures: 1,
+		MayBlockLocal: true, Calls: []*core.Method{m.fetchCoords}}
+	m.pairForce.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := fr.Node.State(fr.Self).(*Cell)
+		pr := &c.Pairs[fr.Arg(0).Int()]
+		switch fr.PC {
+		case 0:
+			if pr.JSame {
+				f := force(c.Pos[pr.I], c.Pos[pr.JIdx])
+				for d := 0; d < 3; d++ {
+					c.Force[pr.I][d] += f[d]
+					c.Force[pr.JIdx][d] -= f[d]
+				}
+				rt.Work(fr, pairWork)
+				rt.Reply(fr, 0)
+				return core.Done
+			}
+			rt.Work(fr, cacheWork)
+			if _, ok := c.Cache[pr.JGlobal]; ok {
+				fr.PC = 2
+				return m.pairForce.Body(rt, fr)
+			}
+			st := rt.Invoke(fr, m.fetchCoords, pr.JCell, 0,
+				core.IntW(int64(pr.JIdx)), core.IntW(int64(pr.JGlobal)), core.RefW(c.Self))
+			fr.PC = 1
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, core.Mask(0)) {
+				return core.Unwound
+			}
+			fr.PC = 2
+			fallthrough
+		case 2:
+			jp := c.Cache[pr.JGlobal]
+			f := force(c.Pos[pr.I], jp)
+			for d := 0; d < 3; d++ {
+				c.Force[pr.I][d] += f[d]
+			}
+			pf := c.Pending[pr.JGlobal]
+			if pf == nil {
+				pf = &pendingForce{cell: pr.JCell, idx: pr.JIdx}
+				c.Pending[pr.JGlobal] = pf
+			}
+			for d := 0; d < 3; d++ {
+				pf.f[d] -= f[d]
+			}
+			rt.Work(fr, pairWork+cacheWork)
+			rt.Reply(fr, 0)
+			return core.Done
+		}
+		panic("mig.pairForce: bad pc")
+	}
+	p.Add(m.pairForce)
+
+	// cellReset: clear the per-iteration cache and pending tables.
+	m.cellReset = &core.Method{Name: "mig.cellReset"}
+	m.cellReset.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := fr.Node.State(fr.Self).(*Cell)
+		c.Cache = map[int][3]float64{}
+		c.Pending = map[int]*pendingForce{}
+		c.flushCache = nil
+		rt.Work(fr, cacheWork)
+		rt.Reply(fr, 0)
+		return core.Done
+	}
+	p.Add(m.cellReset)
+
+	// cellPairs: evaluate every owned pair, join.
+	m.cellPairs = &core.Method{Name: "mig.cellPairs", NLocals: 1,
+		MayBlockLocal: true, Calls: []*core.Method{m.pairForce}}
+	m.cellPairs.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := fr.Node.State(fr.Self).(*Cell)
+		switch fr.PC {
+		case 0:
+			fr.PC = 1
+			fallthrough
+		case 1:
+			for {
+				i := int(fr.Local(0).Int())
+				if i >= len(c.Pairs) {
+					break
+				}
+				fr.SetLocal(0, core.IntW(int64(i+1)))
+				st := rt.Invoke(fr, m.pairForce, fr.Self, core.JoinDiscard, core.IntW(int64(i)))
+				if st == core.NeedUnwind {
+					return rt.Unwind(fr)
+				}
+			}
+			fr.PC = 2
+			fallthrough
+		case 2:
+			if !rt.TouchJoin(fr) {
+				return core.Unwound
+			}
+			rt.Reply(fr, 0)
+			return core.Done
+		}
+		panic("mig.cellPairs: bad pc")
+	}
+	p.Add(m.cellPairs)
+
+	// cellFlush: deliver the combined force increments, join the acks.
+	m.cellFlush = &core.Method{Name: "mig.cellFlush", NLocals: 1,
+		MayBlockLocal: true, Calls: []*core.Method{m.addForce}}
+	m.cellFlush.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := fr.Node.State(fr.Self).(*Cell)
+		switch fr.PC {
+		case 0:
+			fr.PC = 1
+			fallthrough
+		case 1:
+			for {
+				i := int(fr.Local(0).Int())
+				if i >= len(c.flushList()) {
+					break
+				}
+				fr.SetLocal(0, core.IntW(int64(i+1)))
+				pf := c.flushList()[i]
+				st := rt.Invoke(fr, m.addForce, pf.cell, core.JoinDiscard,
+					core.IntW(int64(pf.idx)),
+					core.FloatW(pf.f[0]), core.FloatW(pf.f[1]), core.FloatW(pf.f[2]))
+				if st == core.NeedUnwind {
+					return rt.Unwind(fr)
+				}
+			}
+			fr.PC = 2
+			fallthrough
+		case 2:
+			if !rt.TouchJoin(fr) {
+				return core.Unwound
+			}
+			rt.Reply(fr, 0)
+			return core.Done
+		}
+		panic("mig.cellFlush: bad pc")
+	}
+	p.Add(m.cellFlush)
+
+	// main: Iters times (reset all cells; pair phase; flush phase), each
+	// phase a join barrier across all cells.
+	main := &core.Method{Name: "mig.main", NLocals: 2,
+		MayBlockLocal: true, Calls: []*core.Method{m.cellReset, m.cellPairs, m.cellFlush}}
+	main.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := fr.Node.State(fr.Self).(*Coord)
+		switch fr.PC {
+		case 0:
+			fr.PC = 1
+			fallthrough
+		case 1:
+			for {
+				phase := int(fr.Local(1).Int())
+				if phase >= 3*c.Iters {
+					rt.Reply(fr, 0)
+					return core.Done
+				}
+				var meth *core.Method
+				switch phase % 3 {
+				case 0:
+					meth = m.cellReset
+				case 1:
+					meth = m.cellPairs
+				case 2:
+					meth = m.cellFlush
+				}
+				for {
+					i := int(fr.Local(0).Int())
+					if i >= len(c.Cells) {
+						break
+					}
+					fr.SetLocal(0, core.IntW(int64(i+1)))
+					st := rt.Invoke(fr, meth, c.Cells[i], core.JoinDiscard)
+					if st == core.NeedUnwind {
+						return rt.Unwind(fr)
+					}
+				}
+				if !rt.TouchJoin(fr) {
+					return core.Unwound
+				}
+				fr.SetLocal(0, 0)
+				fr.SetLocal(1, core.IntW(int64(phase+1)))
+			}
+		}
+		panic("mig.main: bad pc")
+	}
+	p.Add(main)
+	m.Main = main
+	return m
+}
+
+// flushList returns the pending increments in deterministic order.
+func (c *Cell) flushList() []*pendingForce {
+	if c.flushCache != nil {
+		return c.flushCache
+	}
+	keys := make([]int, 0, len(c.Pending))
+	for k := range c.Pending {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	out := make([]*pendingForce, len(keys))
+	for i, k := range keys {
+		out[i] = c.Pending[k]
+	}
+	c.flushCache = out
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// force matches apps/mdforce's pair kernel.
+func force(a, b [3]float64) [3]float64 {
+	dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+	r2 := dx*dx + dy*dy + dz*dz
+	s := 1.0 / (r2 + 0.25)
+	return [3]float64{s * dx, s * dy, s * dz}
+}
+
+// Params configures one migration-evaluation run: the MD instance plus the
+// iteration count (migration pays off only when post-move iterations
+// amortize the move cost).
+type Params struct {
+	MD    mdforce.Params
+	Iters int
+}
+
+// DefaultParams packs the clusters tightly (lattice spacing comparable to
+// the cluster diameter) so cluster peripheries interact across the cutoff:
+// the communication graph has strong spatial affinity for ORB — and for an
+// adaptive policy — to exploit, while random placement makes most
+// cross-cell traffic remote.
+func DefaultParams() Params {
+	return Params{
+		MD: mdforce.Params{Atoms: 4000, Clusters: 64, Box: 24, Cutoff: 2.4,
+			Nodes: 16, Scatter: 0.05, Seed: 1995},
+		Iters: 10,
+	}
+}
+
+// CellAssignment places cells (clusters) on nodes: ORB over the cluster
+// centers (the informed static layout) or uniformly at random (the
+// uninformed one an adaptive policy must repair).
+func CellAssignment(inst *mdforce.Instance, spatial bool) []int {
+	if spatial {
+		return layout.ORB(inst.Centers, inst.Params.Nodes)
+	}
+	return layout.Random(len(inst.Centers), inst.Params.Nodes, inst.Params.Seed+13)
+}
+
+// Result is one execution's measurements.
+type Result struct {
+	Seconds       float64
+	LocalFraction float64
+	Stats         core.NodeStats
+	Counters      instr.Counters
+	Messages      int64
+	Forces        [][3]float64 // by global atom id
+	// Placement is where each cell ended the run (node per cell index).
+	Placement []int
+	// MaxCellsPerNode measures final placement balance.
+	MaxCellsPerNode int
+}
+
+// Run executes iters iterations of the kernel over inst with the given cell
+// placement under cfg (whose Migration field selects the policy, nil for
+// static). Forces are read back from wherever each cell ended up.
+func Run(mdl *machine.Model, cfg core.Config, inst *mdforce.Instance, iters int, cellAssign []int) Result {
+	m := Build()
+	if err := m.Prog.Resolve(cfg.Interfaces); err != nil {
+		panic(err)
+	}
+	pr := inst.Params
+	eng := sim.NewEngine(pr.Nodes)
+	if cfg.MaxMsgWords == 0 {
+		// Cells are far larger than request messages; size the limit to the
+		// biggest possible migration payload.
+		cfg.MaxMsgWords = 1 << 20
+	}
+	rt := core.NewRT(eng, mdl, m.Prog, cfg)
+
+	cells := make([]*Cell, pr.Clusters)
+	cellRefs := make([]core.Ref, pr.Clusters)
+	for ci := range cells {
+		cells[ci] = &Cell{Cache: map[int][3]float64{}, Pending: map[int]*pendingForce{}}
+		cellRefs[ci] = rt.Node(cellAssign[ci]).NewObject(cells[ci])
+		cells[ci].Self = cellRefs[ci]
+	}
+	localIdx := make([]int, len(inst.Pos))
+	for gid, p := range inst.Pos {
+		c := cells[inst.Cluster[gid]]
+		localIdx[gid] = len(c.Pos)
+		c.Pos = append(c.Pos, [3]float64{p.X, p.Y, p.Z})
+		c.Force = append(c.Force, [3]float64{})
+		c.Global = append(c.Global, gid)
+	}
+	for _, pair := range inst.Pairs {
+		i, j := pair[0], pair[1]
+		ci, cj := inst.Cluster[i], inst.Cluster[j]
+		cells[ci].Pairs = append(cells[ci].Pairs, Pair{
+			I:       localIdx[i],
+			JCell:   cellRefs[cj],
+			JIdx:    localIdx[j],
+			JGlobal: j,
+			JSame:   ci == cj,
+		})
+	}
+	coord := &Coord{Cells: cellRefs, Iters: iters}
+	coordRef := rt.Node(0).NewObject(coord)
+
+	var res core.Result
+	rt.StartOn(0, m.Main, coordRef, &res)
+	rt.Run()
+	if !res.Done {
+		panic("migrate: did not complete")
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		panic(err)
+	}
+
+	forces := make([][3]float64, len(inst.Pos))
+	perNode := make([]int, pr.Nodes)
+	placement := make([]int, len(cells))
+	for ci, c := range cells {
+		for li, gid := range c.Global {
+			forces[gid] = c.Force[li]
+		}
+		placement[ci] = rt.Locate(cellRefs[ci])
+		perNode[placement[ci]]++
+	}
+	maxCells := 0
+	for _, k := range perNode {
+		if k > maxCells {
+			maxCells = k
+		}
+	}
+	st := rt.TotalStats()
+	return Result{
+		Seconds:         mdl.Seconds(eng.MaxClock()),
+		Counters:        eng.TotalCounters(),
+		LocalFraction:   float64(st.LocalInvokes) / float64(st.LocalInvokes+st.RemoteInvokes),
+		Stats:           st,
+		Messages:        eng.TotalMessages(),
+		Forces:          forces,
+		Placement:       placement,
+		MaxCellsPerNode: maxCells,
+	}
+}
+
+// Native computes the same forces in plain Go, repeating the per-iteration
+// increments iters times exactly as the simulated kernel does.
+func Native(inst *mdforce.Instance, iters int) [][3]float64 {
+	forces := make([][3]float64, len(inst.Pos))
+	pos := make([][3]float64, len(inst.Pos))
+	for i, p := range inst.Pos {
+		pos[i] = [3]float64{p.X, p.Y, p.Z}
+	}
+	for it := 0; it < iters; it++ {
+		for _, pr := range inst.Pairs {
+			f := force(pos[pr[0]], pos[pr[1]])
+			for d := 0; d < 3; d++ {
+				forces[pr[0]][d] += f[d]
+				forces[pr[1]][d] -= f[d]
+			}
+		}
+	}
+	return forces
+}

@@ -1,12 +1,14 @@
 // Command tables regenerates the paper's evaluation tables (Tables 2-6 of
-// Plevyak et al., SC'95) on the simulated machines. Absolute times depend
-// on the cost models; the experiment harness is written to reproduce the
-// paper's *shapes*: who wins, by roughly what factor, and where the
-// crossovers fall. EXPERIMENTS.md records paper-versus-measured values.
+// Plevyak et al., SC'95) on the simulated machines, plus Table 7 — an
+// extension table evaluating dynamic object migration (the paper's §6
+// future work) on MD-Force. Absolute times depend on the cost models; the
+// experiment harness is written to reproduce the paper's *shapes*: who
+// wins, by roughly what factor, and where the crossovers fall.
+// EXPERIMENTS.md records paper-versus-measured values.
 //
 // Usage:
 //
-//	tables [-table all|2|3|4|5|6] [-scale small|medium|full] [-seed N]
+//	tables [-table all|2|3|4|5|6|7] [-scale small|medium|full] [-seed N]
 //
 // -scale medium (default) runs scaled-down problems in seconds; full uses
 // the paper's problem sizes (slow for tables 4 and 6).
@@ -20,16 +22,18 @@ import (
 
 	"repro/apps/em3d"
 	"repro/apps/mdforce"
+	migapp "repro/apps/migrate"
 	"repro/apps/overheads"
 	"repro/apps/seqbench"
 	"repro/apps/sor"
 	"repro/internal/core"
 	"repro/internal/machine"
+	policy "repro/internal/migrate"
 	"repro/internal/stats"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6")
+	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6, 7")
 	scale := flag.String("scale", "medium", "problem scale: small, medium, full")
 	seed := flag.Int64("seed", 1995, "workload generation seed")
 	flag.Parse()
@@ -41,7 +45,7 @@ func main() {
 		}
 	}
 	ok := false
-	for _, name := range []string{"2", "3", "4", "5", "6"} {
+	for _, name := range []string{"2", "3", "4", "5", "6", "7"} {
 		if *table == "all" || *table == name {
 			ok = true
 		}
@@ -55,6 +59,7 @@ func main() {
 	run("4", table4)
 	run("5", table5)
 	run("6", table6)
+	run("7", table7)
 }
 
 // table2 prints the base call and fallback overheads per schema.
@@ -207,6 +212,71 @@ func table5(scale string, seed int64) {
 				fmt.Sprintf("%.2f", par.Seconds/h.Seconds))
 		}
 		t.AddNote("paper: random 1.03x; spatial 1.43x (CM-5) / 1.52x (T3D)")
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+// table7 prints the dynamic-migration comparison on fine-grained MD-Force:
+// static random placement, static ORB, and adaptive migration starting from
+// the random placement. Every run's forces are verified against the native
+// reference before its row is printed.
+func table7(scale string, seed int64) {
+	base := migapp.DefaultParams()
+	base.MD.Seed = seed
+	switch scale {
+	case "small":
+		base.MD.Atoms, base.MD.Clusters, base.MD.Box, base.MD.Nodes = 1200, 27, 18, 8
+		base.Iters = 3
+	case "full":
+		base.MD.Atoms, base.MD.Clusters, base.MD.Box, base.MD.Nodes = 10503, 125, 30, 32
+		base.Iters = 6
+	}
+	inst := mdforce.Generate(base.MD)
+	native := migapp.Native(inst, base.Iters)
+	randAssign := migapp.CellAssignment(inst, false)
+	orbAssign := migapp.CellAssignment(inst, true)
+
+	type variant struct {
+		name   string
+		assign []int
+		policy core.MigrationPolicy
+		period core.Instr
+	}
+	variants := []variant{
+		{"static random", randAssign, nil, 0},
+		{"static ORB", orbAssign, nil, 0},
+		{"adaptive (threshold)", randAssign, policy.DefaultThreshold(), 0},
+		{"adaptive (rebalance)", randAssign, policy.DefaultRebalance(), 200_000},
+	}
+	for _, mdl := range []*machine.Model{machine.CM5(), machine.T3D()} {
+		t := stats.Table{
+			Title: fmt.Sprintf("Table 7 — MD-Force with dynamic migration: %d atoms / %d cells, %d iterations, %d-node %s",
+				base.MD.Atoms, base.MD.Clusters, base.Iters, base.MD.Nodes, mdl.Name),
+			Headers: []string{"placement", "local frac", "msgs", "moves", "fwd hops", "time (s)", "vs random"},
+		}
+		var randSec float64
+		for _, v := range variants {
+			cfg := core.DefaultHybrid()
+			cfg.Migration = v.policy
+			cfg.MigrationPeriod = v.period
+			r := migapp.Run(mdl, cfg, inst, base.Iters, v.assign)
+			if err := mdforce.MaxRelError(r.Forces, native); err > 1e-9 {
+				fmt.Fprintf(os.Stderr, "table7: %s on %s: force error %g\n", v.name, mdl.Name, err)
+				os.Exit(1)
+			}
+			if v.policy == nil && v.name == "static random" {
+				randSec = r.Seconds
+			}
+			t.AddRow(v.name,
+				fmt.Sprintf("%.3f", r.LocalFraction),
+				fmt.Sprintf("%d", r.Messages),
+				fmt.Sprintf("%d", r.Stats.MigratesOut),
+				fmt.Sprintf("%d", r.Stats.ForwardHops),
+				stats.Seconds(r.Seconds),
+				fmt.Sprintf("%.2f", randSec/r.Seconds))
+		}
+		t.AddNote("objects start on the random placement; the adaptive policies relocate cells toward their dominant requesters mid-run")
 		t.Render(os.Stdout)
 		fmt.Println()
 	}

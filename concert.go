@@ -164,8 +164,10 @@ func (s *System) NewObject(node int, state any) Ref {
 
 // State returns the application state of an object (host-side access for
 // setup and verification; simulated code goes through the owning node).
+// With migration enabled the object may have moved from its birth node;
+// StateOf walks forwarding stubs to its current home.
 func (s *System) State(ref Ref) any {
-	return s.RT.Node(int(ref.Node)).State(ref)
+	return s.RT.StateOf(ref)
 }
 
 // Start seeds a root invocation of m on target (owned by node) and returns

@@ -544,7 +544,8 @@ func TestReplyToNilContinuationIsDiscarded(t *testing.T) {
 	fire := &Method{Name: "n.fire", NArgs: 1, Calls: []*Method{leaf}, MayBlockLocal: true}
 	fire.Body = func(rt *RT, fr *Frame) Status {
 		// Invoke with a discarded continuation: a one-way send.
-		rt.sendRequest(fr.Node, leaf, fr.Arg(0).Ref(), nil, Cont{})
+		dest := fr.Arg(0).Ref()
+		rt.sendRequest(fr.Node, leaf, dest, nil, Cont{}, int(dest.Node))
 		rt.Reply(fr, 0)
 		return Done
 	}

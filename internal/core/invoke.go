@@ -39,10 +39,11 @@ func (rt *RT) Invoke(fr *Frame, m *Method, target Ref, slot int, args ...Word) C
 		fr.joinOut++
 	}
 
-	if int(target.Node) != n.ID {
+	obj, loc := n.lookup(target)
+	if obj == nil {
 		n.Stats.RemoteInvokes++
 		rt.traceEvent(n, uint8(trace.KInvoke), m, 1)
-		rt.sendRequest(n, m, target, args, Cont{Fr: fr, Slot: slot, Node: int32(n.ID)})
+		rt.sendRequest(n, m, target, args, Cont{Fr: fr, Slot: slot, Node: int32(n.ID)}, loc)
 		if fr.Mode == StackMode {
 			return NeedUnwind
 		}
@@ -50,7 +51,7 @@ func (rt *RT) Invoke(fr *Frame, m *Method, target Ref, slot int, args ...Word) C
 	}
 	n.Stats.LocalInvokes++
 	rt.traceEvent(n, uint8(trace.KInvoke), m, 0)
-	obj := n.objects[target.Index]
+	rt.noteAccess(n, obj, n.ID, fr.Self == target)
 	if m.Locks && !rt.Cfg.SeqOpt {
 		n.charge(instr.OpCheck, mdl.LockCheck)
 	}
@@ -89,6 +90,7 @@ func (rt *RT) stackCall(n *NodeRT, fr *Frame, m *Method, obj *Object, target Ref
 	rt.traceEvent(n, uint8(trace.KStackCall), m, 0)
 
 	cf := n.pool.checkout(m, n, target, args)
+	rt.frameCreated(n, obj)
 	cf.Mode = StackMode
 	cf.RetCont = Cont{Fr: fr, Slot: slot, Node: int32(n.ID)}
 	cf.CInfo = CallerInfo{CtxExists: fr.promoted}
@@ -177,10 +179,13 @@ func (rt *RT) promote(n *NodeRT, fr *Frame) {
 }
 
 // newHeapFrame allocates a heap context for a parallel invocation with the
-// given reply continuation, charging allocation and initialization.
+// given reply continuation, charging allocation and initialization. The
+// target must resolve locally — heap contexts only exist on their object's
+// current home.
 func (rt *RT) newHeapFrame(n *NodeRT, m *Method, target Ref, args []Word, cont Cont) *Frame {
 	n.charge(instr.OpCtx, rt.Model.CtxAlloc+rt.Model.CtxInitWord*instr.Instr(len(args)))
 	cf := n.pool.checkout(m, n, target, args)
+	rt.frameCreatedRef(n, target)
 	cf.Mode = HeapMode
 	cf.promoted = true
 	cf.RetCont = cont
@@ -277,16 +282,17 @@ func (rt *RT) ForwardTail(fr *Frame, m *Method, target Ref, args ...Word) Status
 	cont := fr.RetCont
 	fr.captured = true
 
-	if int(target.Node) != n.ID {
+	obj, loc := n.lookup(target)
+	if obj == nil {
 		// Forwarding off-node requires the continuation to actually exist
 		// (Section 3.2.3): materialize it per caller_info, then ship it.
 		n.Stats.RemoteInvokes++
 		rt.materializeCont(n, fr, cont)
-		rt.sendRequest(n, m, target, args, cont)
+		rt.sendRequest(n, m, target, args, cont, loc)
 		return Forwarded
 	}
 	n.Stats.LocalInvokes++
-	obj := n.objects[target.Index]
+	rt.noteAccess(n, obj, n.ID, fr.Self == target)
 	if m.Locks && !rt.Cfg.SeqOpt {
 		n.charge(instr.OpCheck, mdl.LockCheck)
 	}
@@ -305,6 +311,7 @@ func (rt *RT) ForwardTail(fr *Frame, m *Method, target Ref, args ...Word) Status
 		n.Stats.StackCalls++
 
 		cf := n.pool.checkout(m, n, target, args)
+		rt.frameCreated(n, obj)
 		cf.Mode = StackMode
 		cf.RetCont = cont
 		cf.CInfo = fr.CInfo // caller_info is simply passed along

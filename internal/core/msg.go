@@ -1,23 +1,51 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/instr"
 	"repro/internal/trace"
 )
 
+// msgKind classifies an active message.
+type msgKind uint8
+
+const (
+	// msgRequest: run a method on a target object, continuation attached.
+	msgRequest msgKind = iota
+	// msgReply: a value determining a remote continuation.
+	msgReply
+	// msgMigrate: a serialized object moving to a new home.
+	msgMigrate
+	// msgMoved: a path-compression notice — "ref now lives at loc".
+	msgMoved
+)
+
 // Msg is an active message: a request to run a method on a target object
-// (carrying the continuation for the result), or a reply determining a
-// continuation. The simulator is single-address-space, so messages carry
-// pointers, but all serialization and transport costs are charged per the
-// machine model and remote state is only ever touched by its owner.
+// (carrying the continuation for the result), a reply determining a
+// continuation, or one of the migration-protocol messages. The simulator is
+// single-address-space, so messages carry pointers, but all serialization
+// and transport costs are charged per the machine model and remote state is
+// only ever touched by its owner.
 type Msg struct {
+	kind   msgKind
 	method *Method
 	target Ref
 	args   []Word
 	cont   Cont
 
-	reply bool
-	val   Word
+	val Word
+
+	// from is the node that originated the request (for moved notices);
+	// hops counts forwarding re-routes (traced, and a chain-length check).
+	from int32
+	hops int32
+
+	// obj is the payload of a msgMigrate; loc/ver the address and residence
+	// version carried by a msgMoved.
+	obj *Object
+	loc int32
+	ver int32
 
 	next *Msg
 }
@@ -25,8 +53,13 @@ type Msg struct {
 // words returns the modeled payload size in words: header (method id,
 // target, continuation) plus arguments.
 func (m *Msg) words() int {
-	if m.reply {
+	switch m.kind {
+	case msgReply:
 		return 2 // continuation + value: a single packet
+	case msgMigrate:
+		return 4 + migrateWords(m.obj.State)
+	case msgMoved:
+		return 3 // ref + new location: a single packet
 	}
 	return 4 + len(m.args)
 }
@@ -62,22 +95,35 @@ func (q *msgQueue) pop() *Msg {
 	return m
 }
 
-// sendRequest transmits a method invocation to the target's owner. The
-// sender pays injection overhead; the receiver pays handler overhead on
-// arrival (in handleMsg).
-func (rt *RT) sendRequest(from *NodeRT, m *Method, target Ref, args []Word, cont Cont) {
-	msg := &Msg{method: m, target: target, args: append([]Word(nil), args...), cont: cont}
+// sendRequest transmits a method invocation toward the target's believed
+// owner (dest). The sender pays injection overhead; the receiver pays
+// handler overhead on arrival (in handleMsg) and re-routes if the object
+// has since migrated.
+func (rt *RT) sendRequest(from *NodeRT, m *Method, target Ref, args []Word, cont Cont, dest int) {
+	msg := &Msg{method: m, target: target, args: append([]Word(nil), args...),
+		cont: cont, from: int32(from.ID)}
 	w := msg.words()
+	if max := rt.maxMsgWords(); w > max {
+		panic(fmt.Sprintf("core: oversized message for %s: %d words (limit %d)", m.Name, w, max))
+	}
 	from.charge(instr.OpMsg, rt.Model.MsgSendBase+rt.Model.MsgPerWord*instr.Instr(w))
 	rt.traceEvent(from, uint8(trace.KMsgSend), m, int64(w))
-	to := rt.Nodes[target.Node]
+	to := rt.Nodes[dest]
 	lat := rt.Model.NetLatency + rt.Model.NetPerWord*instr.Instr(w)
 	rt.Eng.Send(from.Sim, to.Sim, lat, w, func() { to.inbox.push(msg) })
 }
 
+// maxMsgWords returns the configured message-size limit.
+func (rt *RT) maxMsgWords() int {
+	if rt.Cfg.MaxMsgWords > 0 {
+		return rt.Cfg.MaxMsgWords
+	}
+	return DefaultMaxMsgWords
+}
+
 // sendReply transmits a value determining a remote continuation.
 func (rt *RT) sendReply(from *NodeRT, cont Cont, val Word) {
-	msg := &Msg{reply: true, cont: cont, val: val}
+	msg := &Msg{kind: msgReply, cont: cont, val: val, from: int32(from.ID)}
 	from.charge(instr.OpMsg, rt.Model.ReplySend)
 	from.Stats.Replies++
 	rt.traceEvent(from, uint8(trace.KMsgSend), nil, int64(msg.words()))
@@ -85,31 +131,70 @@ func (rt *RT) sendReply(from *NodeRT, cont Cont, val Word) {
 	rt.Eng.Send(from.Sim, to.Sim, rt.Model.ReplyLatency, msg.words(), func() { to.inbox.push(msg) })
 }
 
-// handleMsg processes one arrived message on node n. For requests under the
-// hybrid model with wrappers enabled, the stack version of the method is
-// executed directly from the message buffer (Section 3.3) — "a remote
-// message can be processed entirely on the stack". Otherwise a heap context
-// is allocated and scheduled, which is what the parallel-only baseline
-// always does.
+// handleMsg processes one arrived message on node n. Requests are first
+// routed: if the target no longer lives here (it migrated away) the message
+// takes a forwarding hop; if it is in flight to this node the message parks
+// until it arrives. For requests that resolve locally under the hybrid
+// model with wrappers enabled, the stack version of the method is executed
+// directly from the message buffer (Section 3.3) — "a remote message can be
+// processed entirely on the stack". Otherwise a heap context is allocated
+// and scheduled, which is what the parallel-only baseline always does.
 func (rt *RT) handleMsg(n *NodeRT, msg *Msg) {
 	mdl := rt.Model
-	if msg.reply {
+	switch msg.kind {
+	case msgReply:
 		n.charge(instr.OpMsg, mdl.ReplyRecv)
 		rt.deliverLocal(n, msg.cont, msg.val, false)
 		return
+	case msgMigrate:
+		rt.handleMigrate(n, msg)
+		return
+	case msgMoved:
+		rt.handleMoved(n, msg)
+		return
 	}
 	m := msg.method
+	if m == nil {
+		panic(fmt.Sprintf("core: malformed request on node %d: nil method, target=%v args=%d",
+			n.ID, msg.target, len(msg.args)))
+	}
+	e, has := n.entry(msg.target)
+	if !has {
+		// No entry means the object is in flight to this node (every node
+		// it ever lived on keeps at least a stub): hold until it arrives.
+		n.charge(instr.OpMsg, mdl.MsgRecvBase)
+		n.park(msg)
+		return
+	}
+	if e.away {
+		rt.forwardRequest(n, msg, e)
+		return
+	}
+	obj := e
 	n.charge(instr.OpMsg, mdl.MsgRecvBase+mdl.MsgPerWord*instr.Instr(msg.words()))
 	rt.traceEvent(n, uint8(trace.KMsgRecv), m, int64(msg.words()))
+	rt.noteAccess(n, obj, int(msg.from), false)
 
 	if rt.Cfg.Hybrid && rt.Cfg.Wrappers {
-		rt.runWrapper(n, m, msg)
+		rt.runWrapper(n, m, obj, msg)
 		return
 	}
 	// Parallel-only path: allocate and schedule a heap context.
 	cf := rt.newHeapFrame(n, m, msg.target, msg.args, msg.cont)
 	rt.scheduleOrPark(n, cf)
 }
+
+func methodName(m *Method) string {
+	if m == nil {
+		return "<nil>"
+	}
+	return m.Name
+}
+
+// DefaultMaxMsgWords bounds a single active message's modeled payload; a
+// real runtime would fragment beyond this, which the model does not —
+// exceeding it is a programming error.
+const DefaultMaxMsgWords = 4096
 
 // runWrapper executes an arrived request through the schema-specific
 // wrapper (Figure 8): the stack version runs straight out of the buffer,
@@ -121,8 +206,7 @@ func (rt *RT) handleMsg(n *NodeRT, msg *Msg) {
 //     the lazily-created callee context;
 //   - CP: a proxy context supplies caller_info saying the context exists
 //     and the continuation was forwarded, so lazy capture just extracts it.
-func (rt *RT) runWrapper(n *NodeRT, m *Method, msg *Msg) {
-	obj := n.objects[msg.target.Index]
+func (rt *RT) runWrapper(n *NodeRT, m *Method, obj *Object, msg *Msg) {
 	if m.Locks {
 		n.charge(instr.OpCheck, rt.Model.LockCheck)
 		if obj.Locked() {
@@ -139,6 +223,7 @@ func (rt *RT) runWrapper(n *NodeRT, m *Method, msg *Msg) {
 	rt.chargeSchema(n, m.Emitted)
 
 	cf := n.pool.checkout(m, n, msg.target, msg.args)
+	rt.frameCreated(n, obj)
 	cf.Mode = StackMode
 	cf.RetCont = msg.cont
 	cf.CInfo = CallerInfo{CtxExists: true, Forwarded: true} // proxy context

@@ -17,6 +17,22 @@ type NodeRT struct {
 	runq    frameQueue
 	pool    framePool
 
+	// Migration state (all nil/empty unless a migration policy runs).
+	// imports holds objects whose birth node is elsewhere but that now (or
+	// once) lived here; importRefs records first-arrival order so iteration
+	// is deterministic. hints caches believed current owners learned from
+	// msgMoved notices (path compression). parked queues requests that
+	// arrived for an object still in flight to this node.
+	imports    map[Ref]*Object
+	importRefs []Ref
+	hints      map[Ref]locHint
+	parked     map[Ref]*msgQueue
+	// resident counts objects living on — or already committed to move
+	// to — this node. The transfer happens when a migration is *decided*,
+	// not when the payload arrives, so concurrent placement decisions see
+	// each other (balance signal for migration policies).
+	resident int
+
 	// stackDepth tracks current speculative-inlining depth.
 	stackDepth int
 
@@ -37,6 +53,13 @@ type NodeStats struct {
 	LockBlocks    int64 // invocations parked on an object lock
 	WrapperRuns   int64 // messages executed directly from the buffer
 	Replies       int64 // reply messages sent
+
+	// Migration protocol counters (zero unless a policy is installed).
+	MigratesOut int64 // objects frozen, serialized and shipped from this node
+	MigratesIn  int64 // objects installed on this node
+	ForwardHops int64 // requests re-routed through a forwarding stub here
+	HintUpdates int64 // name-table (path compression) updates applied
+	MigrateParks int64 // requests parked waiting for an in-flight object
 }
 
 // add accumulates other into s.
@@ -51,23 +74,34 @@ func (s *NodeStats) add(other *NodeStats) {
 	s.LockBlocks += other.LockBlocks
 	s.WrapperRuns += other.WrapperRuns
 	s.Replies += other.Replies
+	s.MigratesOut += other.MigratesOut
+	s.MigratesIn += other.MigratesIn
+	s.ForwardHops += other.ForwardHops
+	s.HintUpdates += other.HintUpdates
+	s.MigrateParks += other.MigrateParks
 }
 
 // NewObject installs state as a new object on this node and returns its
 // global reference.
 func (n *NodeRT) NewObject(state any) Ref {
 	ref := Ref{Node: int32(n.ID), Index: int32(len(n.objects))}
-	n.objects = append(n.objects, &Object{Ref: ref, State: state})
+	n.objects = append(n.objects, &Object{Ref: ref, State: state, wantMove: -1})
+	n.resident++
 	return ref
 }
 
-// Object returns the local object for ref; it panics if ref is not owned by
-// this node — remote state is never touched directly.
+// Resident returns the number of objects living on (or committed to move
+// to) this node.
+func (n *NodeRT) Resident() int { return n.resident }
+
+// Object returns the object for ref if it currently lives on this node; it
+// panics otherwise — remote state is never touched directly.
 func (n *NodeRT) Object(ref Ref) *Object {
-	if int(ref.Node) != n.ID {
+	obj := n.localObject(ref)
+	if obj == nil {
 		panic("core: direct access to a remote object")
 	}
-	return n.objects[ref.Index]
+	return obj
 }
 
 // State returns the application state of a local object.

@@ -3,7 +3,10 @@ package core
 // Object is one program object: application state owned by exactly one
 // node, reachable machine-wide through its Ref. Method invocations execute
 // on the owner (the owner-computes rule); the runtime performs the name
-// translation and locality checks.
+// translation and locality checks. With a migration policy installed
+// (Config.Migration) the owner may change mid-run: the object is frozen at
+// an activation boundary, shipped to its new home, and a forwarding stub is
+// left behind (see migrate.go).
 type Object struct {
 	Ref Ref
 	// State is the application-defined node-local state. Only code running
@@ -15,10 +18,120 @@ type Object struct {
 	locked bool
 	// waiters are activations parked on the lock, FIFO.
 	waiters frameQueue
+
+	// away marks a forwarding stub: the object migrated away and fwdTo is
+	// the next hop toward its current home. fwdVer is the residence version
+	// (the object's move count) that fwdTo corresponds to; pointer updates
+	// only ever apply strictly newer versions, which keeps the forwarding
+	// graph acyclic (versions increase monotonically along any chain).
+	away   bool
+	fwdTo  int32
+	fwdVer int32
+
+	// Access counters since the object last (re)settled on a node,
+	// maintained only when a migration policy is installed. localHits
+	// counts invocations from co-resident *other* objects (self-driving
+	// traffic carries no placement signal and is not counted); remoteHits
+	// counts invocations arriving from other nodes.
+	localHits  int64
+	remoteHits int64
+	// srcs/cnts form a Misra-Gries frequent-sources sketch over the remote
+	// requester nodes: O(1) state per object (no per-node vectors), yet any
+	// node sending more than 1/(topK+1) of the remote traffic is retained
+	// with a count that underestimates its true share by at most
+	// remoteHits/(topK+1).
+	srcs [topK]int32
+	cnts [topK]int32
+
+	// active counts live activation frames targeting this object (running,
+	// suspended, or parked on the lock). Migration only happens at
+	// active == 0, so frames never outlive their object's residence.
+	active int32
+	// wantMove is a pending migration destination (-1 if none), executed
+	// when the last active frame retires.
+	wantMove int32
+
+	// moves counts completed migrations of this object (never reset;
+	// policies use it to bound per-object churn).
+	moves int32
 }
 
 // Locked reports whether the object's lock is currently held.
 func (o *Object) Locked() bool { return o.locked }
+
+// Hits returns the local and remote invocation counts charged to this
+// object since it last settled on its current node.
+func (o *Object) Hits() (local, remote int64) { return o.localHits, o.remoteHits }
+
+// topK is the width of the per-object frequent-sources sketch.
+const topK = 8
+
+// TopRemote returns the estimated heaviest remote requester node and its
+// sketch count (a lower bound on that node's remote invocations this
+// residence, up to the sketch's error term). It returns (-1, 0) if no
+// remote requester is currently tracked.
+func (o *Object) TopRemote() (node int32, score int32) {
+	best := -1
+	for i, c := range o.cnts {
+		if c > 0 && (best < 0 || c > o.cnts[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return o.srcs[best], o.cnts[best]
+}
+
+// ForEachRemoteSource calls fn for every remote requester node currently
+// tracked in the sketch with its count, in slot order (deterministic).
+func (o *Object) ForEachRemoteSource(fn func(node, count int32)) {
+	for i, c := range o.cnts {
+		if c > 0 {
+			fn(o.srcs[i], c)
+		}
+	}
+}
+
+// Moves returns how many times this object has migrated.
+func (o *Object) Moves() int { return int(o.moves) }
+
+// Active returns the number of live activations targeting the object.
+func (o *Object) Active() int { return int(o.active) }
+
+// note records one invocation reaching the object on its owner,
+// maintaining the Misra-Gries sketch for remote sources.
+func (o *Object) note(remote bool, from int32) {
+	if !remote {
+		o.localHits++
+		return
+	}
+	o.remoteHits++
+	for i := range o.srcs {
+		if o.cnts[i] > 0 && o.srcs[i] == from {
+			o.cnts[i]++
+			return
+		}
+	}
+	for i := range o.srcs {
+		if o.cnts[i] == 0 {
+			o.srcs[i], o.cnts[i] = from, 1
+			return
+		}
+	}
+	for i := range o.cnts {
+		o.cnts[i]--
+	}
+}
+
+// resetEpoch clears the access history when the object settles on a new
+// node, so policies judge each residence on fresh evidence.
+func (o *Object) resetEpoch() {
+	o.localHits, o.remoteHits = 0, 0
+	o.srcs = [topK]int32{}
+	o.cnts = [topK]int32{}
+	o.wantMove = -1
+}
 
 // tryLock acquires the lock if free.
 func (o *Object) tryLock() bool {

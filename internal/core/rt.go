@@ -16,6 +16,9 @@ type RT struct {
 	Cfg   Config
 	Prog  *Program
 	Nodes []*NodeRT
+
+	// heartbeat is set once the periodic migration tick has been scheduled.
+	heartbeat bool
 }
 
 // NewRT builds a runtime over eng with the given machine model, resolved
@@ -53,6 +56,7 @@ func (rt *RT) StartOn(node int, m *Method, target Ref, res *Result, args ...Word
 // Run drives the simulation to quiescence and returns the parallel
 // completion time (the maximum node clock).
 func (rt *RT) Run() sim.Time {
+	rt.startHeartbeat()
 	rt.Eng.Run()
 	return rt.Eng.MaxClock()
 }
@@ -91,6 +95,12 @@ func (rt *RT) CheckQuiescence() error {
 		if n.pool.Live != 0 || !n.runq.empty() || n.inbox.n != 0 {
 			return fmt.Errorf("core: node %d not quiescent: %d live frames, %d runnable, %d messages",
 				n.ID, n.pool.Live, n.runq.len(), n.inbox.n)
+		}
+		for ref, q := range n.parked {
+			if q.n != 0 {
+				return fmt.Errorf("core: node %d not quiescent: %d requests parked for in-flight object %v",
+					n.ID, q.n, ref)
+			}
 		}
 	}
 	return nil

@@ -15,7 +15,10 @@ func (rt *RT) runContext(n *NodeRT, fr *Frame) {
 	n.charge(instr.OpSched, rt.Model.Dequeue)
 	m := fr.M
 	if m.Locks && fr.lockObj == nil {
-		obj := n.objects[fr.Self.Index]
+		obj := n.localObject(fr.Self)
+		if obj == nil {
+			panic("core: context scheduled for an object that is not resident")
+		}
 		if !obj.tryLock() {
 			obj.waiters.push(fr)
 			n.Stats.LockBlocks++
@@ -68,5 +71,6 @@ func (rt *RT) retire(n *NodeRT, fr *Frame) {
 	if fr.promoted {
 		n.charge(instr.OpCtx, rt.Model.CtxFree)
 	}
+	rt.frameRetired(n, fr.Self)
 	n.pool.release(fr)
 }

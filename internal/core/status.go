@@ -109,6 +109,17 @@ type Config struct {
 	// Tracer, if non-nil, receives every execution-model event (see
 	// internal/trace for the standard buffer implementation).
 	Tracer Tracer
+
+	// Migration, if non-nil, enables dynamic object migration: the policy
+	// is consulted on every invocation reaching an owner and may relocate
+	// objects mid-run (see migrate.go and internal/migrate for policies).
+	// Nil keeps the classic static-placement runtime, with no extra charges.
+	Migration MigrationPolicy
+	// MigrationPeriod is the virtual-time interval between policy Tick
+	// calls (periodic-rebalance policies). Zero disables the heartbeat.
+	MigrationPeriod Instr
+	// MaxMsgWords overrides DefaultMaxMsgWords when positive.
+	MaxMsgWords int
 }
 
 // Tracer receives execution-model events from the runtime. Implementations

@@ -34,6 +34,9 @@ const (
 	OpSched
 	// OpMsg is message send/receive software overhead.
 	OpMsg
+	// OpMigrate is dynamic-migration overhead: access-counter maintenance,
+	// object freeze/serialize/install, forwarding hops and hint updates.
+	OpMigrate
 	// OpWork is useful application work.
 	OpWork
 	// OpIdle is processor idle time (waiting for messages). It is time, not
@@ -46,7 +49,7 @@ const (
 
 var opNames = [NumOps]string{
 	"call", "schema", "check", "ctx", "fallback",
-	"future", "sched", "msg", "work", "idle",
+	"future", "sched", "msg", "migrate", "work", "idle",
 }
 
 // String returns the category name.

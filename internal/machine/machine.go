@@ -74,6 +74,16 @@ type Model struct {
 	NetLatency   instr.Instr // one-way network latency, in instruction-times
 	NetPerWord   instr.Instr // additional latency per payload word
 	ReplyLatency instr.Instr // one-way latency of a reply packet
+
+	// Dynamic object migration (internal/migrate). Charged only when a
+	// migration policy is installed; zero-valued models fall back to the
+	// messaging costs via the Mig* accessors.
+	MigCount    instr.Instr // access-counter update per invocation reaching an owner
+	MigSendBase instr.Instr // freeze + serialize + inject a migrated object
+	MigPerWord  instr.Instr // per state word serialized / installed
+	MigInstall  instr.Instr // install an arrived object + drain parked requests
+	FwdHop      instr.Instr // re-route one request through a forwarding stub
+	HintApply   instr.Instr // apply a name-table (path compression) update
 }
 
 // Seconds converts a virtual-instruction count to seconds on this machine.
@@ -146,6 +156,13 @@ func SPARCStation() *Model {
 		NetLatency:   400,
 		NetPerWord:   2,
 		ReplyLatency: 400,
+
+		MigCount:    4,
+		MigSendBase: 180,
+		MigPerWord:  4,
+		MigInstall:  120,
+		FwdHop:      80,
+		HintApply:   8,
 	}
 }
 
@@ -166,6 +183,10 @@ func CM5() *Model {
 	m.NetLatency = 180
 	m.NetPerWord = 6
 	m.ReplyLatency = 180
+	m.MigSendBase = 320
+	m.MigPerWord = 14
+	m.MigInstall = 260
+	m.FwdHop = 160
 	return m
 }
 
@@ -218,6 +239,13 @@ func T3D() *Model {
 		NetLatency:   300,
 		NetPerWord:   2,
 		ReplyLatency: 300,
+
+		MigCount:    5,
+		MigSendBase: 820,
+		MigPerWord:  10,
+		MigInstall:  680,
+		FwdHop:      420,
+		HintApply:   10,
 	}
 }
 

@@ -1,0 +1,170 @@
+// Package migrate provides migration policies for the core runtime's
+// dynamic object migration protocol (internal/core/migrate.go).
+//
+// The paper lists "dynamic data migration" as future work (Section 6); this
+// package supplies the decision layer the protocol needs: when should an
+// object leave its node, and where should it go. Policies see the
+// per-object access counters the runtime maintains — co-resident versus
+// remote hit counts and a Misra-Gries sketch of the heaviest remote
+// requester nodes — so their state is O(1) per object, and the decision
+// they return is applied by the runtime at the object's next
+// activation-free instant.
+//
+// Both active policies use the same three-part test:
+//
+//   - evidence: the heaviest remote requester must have sent at least
+//     MinTop invocations this residence (the sketch count is a lower
+//     bound), so decisions rest on real traffic, not noise;
+//   - hysteresis: that requester's traffic must exceed Alpha times the
+//     co-resident traffic — the move must win more locality than it loses,
+//     by a margin, or the object oscillates;
+//   - balance: after the move the destination must not exceed the
+//     machine-wide mean resident count by more than MaxSkew, or affinity
+//     chasing piles the working set onto a few nodes — and in a
+//     barrier-synchronized program the most loaded node sets the pace, so
+//     any locality win is erased by the skew.
+//
+// A lifetime MaxMoves bound caps per-object churn on top of all three.
+package migrate
+
+import "repro/internal/core"
+
+// meanResident returns the machine-wide mean resident-object count.
+func meanResident(rt *core.RT) float64 {
+	total := 0
+	for _, n := range rt.Nodes {
+		total += n.Resident()
+	}
+	return float64(total) / float64(len(rt.Nodes))
+}
+
+// pickDest scans the object's remote-requester sketch for the best
+// admissible destination. A candidate is admissible as a locality move
+// (count reaches the MinTop evidence floor, beats Alpha times the
+// co-resident traffic, and the destination stays within MaxSkew of the mean
+// after the move) or, when the source node is itself more than MaxSkew
+// above the mean, as a drain move (the destination must be below the mean).
+// Candidates are tried heaviest-first; ties break on the lower node id so
+// runs are deterministic.
+func pickDest(rt *core.RT, n *core.NodeRT, o *core.Object, minTop int32, alpha float64, maxSkew int) (int, bool) {
+	local, _ := o.Hits()
+	mean := meanResident(rt)
+	sourceLoaded := float64(n.Resident()) > mean+float64(maxSkew)
+	type cand struct {
+		node  int32
+		count int32
+	}
+	var cands []cand
+	o.ForEachRemoteSource(func(node, count int32) {
+		cands = append(cands, cand{node, count})
+	})
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i - 1
+		for j >= 0 && (cands[j].count < c.count ||
+			(cands[j].count == c.count && cands[j].node > c.node)) {
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = c
+	}
+	for _, c := range cands {
+		if int(c.node) == n.ID {
+			continue
+		}
+		dest := rt.Nodes[c.node]
+		after := float64(dest.Resident() + 1)
+		if c.count >= minTop && float64(c.count) >= alpha*float64(local) &&
+			after <= mean+float64(maxSkew) {
+			return int(c.node), true
+		}
+		// Drain moves need no evidence floor: the win comes from evening
+		// load, and the heaviest-first scan still sends the object to the
+		// underloaded node it talks to most.
+		if sourceLoaded && after <= mean {
+			return int(c.node), true
+		}
+	}
+	return 0, false
+}
+
+// Never is the null policy: counters are maintained, nothing moves. It is
+// the control for measuring the overhead of the migration machinery alone.
+type Never struct{}
+
+// OnAccess never requests a move.
+func (Never) OnAccess(rt *core.RT, n *core.NodeRT, o *core.Object, from int) (int, bool) {
+	return 0, false
+}
+
+// Tick does nothing.
+func (Never) Tick(rt *core.RT, now core.Instr) {}
+
+// Threshold is the reactive policy: it is consulted on every invocation
+// reaching an object and moves the object to its heaviest remote requester
+// once the evidence/hysteresis/balance test passes.
+type Threshold struct {
+	MinTop   int32   // required sketch count for the top requester
+	Alpha    float64 // required advantage over co-resident traffic
+	MaxSkew  int     // allowed destination excess in resident objects
+	MaxMoves int     // lifetime per-object move bound
+}
+
+// DefaultThreshold returns a Threshold tuned for iterative kernels: an
+// object chases a clearly dominant requester after roughly an iteration of
+// evidence, and settles once co-resident traffic wins.
+func DefaultThreshold() *Threshold {
+	return &Threshold{MinTop: 96, Alpha: 1.5, MaxSkew: 1, MaxMoves: 2}
+}
+
+// OnAccess implements core.MigrationPolicy.
+func (t *Threshold) OnAccess(rt *core.RT, n *core.NodeRT, o *core.Object, from int) (int, bool) {
+	if o.Moves() >= t.MaxMoves {
+		return 0, false
+	}
+	return pickDest(rt, n, o, t.MinTop, t.Alpha, t.MaxSkew)
+}
+
+// Tick does nothing; Threshold is purely reactive.
+func (t *Threshold) Tick(rt *core.RT, now core.Instr) {}
+
+// Rebalance is the periodic policy: it acts only on the runtime's
+// virtual-time heartbeat (Config.MigrationPeriod), scanning each node's
+// resident objects in the runtime's deterministic order and requesting
+// moves for those that pass the same test as Threshold, at most
+// MaxMovesPerTick per node per tick.
+type Rebalance struct {
+	MinTop          int32   // required sketch count for the top requester
+	Alpha           float64 // required advantage over co-resident traffic
+	MaxSkew         int     // allowed destination excess in resident objects
+	MaxMovesPerTick int     // per-node churn bound per heartbeat
+	MaxMoves        int     // lifetime per-object move bound
+}
+
+// DefaultRebalance returns a Rebalance with moderate churn bounds.
+func DefaultRebalance() *Rebalance {
+	return &Rebalance{MinTop: 96, Alpha: 1.5, MaxSkew: 1, MaxMovesPerTick: 2, MaxMoves: 2}
+}
+
+// OnAccess never moves; Rebalance acts only on the heartbeat.
+func (r *Rebalance) OnAccess(rt *core.RT, n *core.NodeRT, o *core.Object, from int) (int, bool) {
+	return 0, false
+}
+
+// Tick implements core.MigrationPolicy: scan and request moves.
+func (r *Rebalance) Tick(rt *core.RT, now core.Instr) {
+	for _, n := range rt.Nodes {
+		moved := 0
+		n.ForEachLocalObject(func(o *core.Object) {
+			if moved >= r.MaxMovesPerTick || o.Moves() >= r.MaxMoves {
+				return
+			}
+			dest, ok := pickDest(rt, n, o, r.MinTop, r.Alpha, r.MaxSkew)
+			if !ok {
+				return
+			}
+			rt.RequestMigration(n, o, dest)
+			moved++
+		})
+	}
+}

@@ -167,6 +167,10 @@ func (e *Engine) RunUntil(t Time) bool {
 	return e.events.Len() > 0
 }
 
+// Pending returns the number of undispatched events. Periodic services use
+// it to stop rescheduling themselves once the machine is otherwise idle.
+func (e *Engine) Pending() int { return e.events.Len() }
+
 // Step dispatches a single event, returning false if none remain.
 func (e *Engine) Step() bool {
 	if e.events.Len() == 0 {

@@ -40,6 +40,15 @@ const (
 	KReply
 	// KComplete: an activation retired.
 	KComplete
+	// KMigrateStart: an object was frozen and shipped to a new home
+	// (Aux: the object's packed Ref).
+	KMigrateStart
+	// KMigrateArrive: a migrated object was installed on its new home
+	// (Aux: the object's packed Ref).
+	KMigrateArrive
+	// KForwardHop: a request for a migrated object was re-routed through a
+	// forwarding stub (Aux: the hop count so far).
+	KForwardHop
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -48,6 +57,7 @@ const (
 var kindNames = [NumKinds]string{
 	"invoke", "stackcall", "fallback", "ctxalloc", "suspend",
 	"wake", "send", "recv", "wrapper", "reply", "complete",
+	"migstart", "migarrive", "fwdhop",
 }
 
 // String returns the kind name.
