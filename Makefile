@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json tables figure9 examples cover clean
+.PHONY: all build test bench bench-json tables figure9 examples chaos cover clean
 
 all: build test
 
@@ -37,6 +37,12 @@ examples:
 	$(GO) run ./examples/pipeline
 	$(GO) run ./examples/kernels
 	$(GO) run ./examples/minilang
+
+# Fault-injection smoke: the short loss sweep under the race detector, then
+# the full Table 8 sweep (verified against native references, 3x budget).
+chaos:
+	$(GO) test -race -count=1 ./apps/chaos ./internal/sim ./internal/core -run 'Chaos|Fault|Reliable|Stall|Deterministic'
+	$(GO) run ./cmd/tables -table 8 -scale small
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// smallParams keeps the smoke sweep fast enough for -race CI.
+func smallParams() Params {
+	p := DefaultParams(1995)
+	p.Sor.G, p.Sor.Iters = 24, 3
+	p.MD.Atoms, p.MDIters = 600, 2
+	return p
+}
+
+// TestChaosSweepSmoke is the short loss sweep `make chaos` runs: every
+// kernel must verify against its native reference on a clean network and at
+// 1% loss, and the lossy run must stay within the 3x fault-free budget.
+func TestChaosSweepSmoke(t *testing.T) {
+	for _, k := range Kernels(machine.CM5(), smallParams()) {
+		clean := k.Run(nil, true)
+		if clean.Err != nil {
+			t.Fatalf("%s clean: %v", k.Name, clean.Err)
+		}
+		if clean.Stats.Retransmits != 0 {
+			t.Errorf("%s clean: %d retransmits on a loss-free network", k.Name, clean.Stats.Retransmits)
+		}
+		lossy := k.Run(Faults(42, 0.01), true)
+		if lossy.Err != nil {
+			t.Fatalf("%s at 1%% loss: %v", k.Name, lossy.Err)
+		}
+		if lossy.Stats.DropsSeen == 0 {
+			t.Errorf("%s at 1%% loss: no drops injected", k.Name)
+		}
+		if lossy.Stats.Retransmits == 0 {
+			t.Errorf("%s at 1%% loss: drops but no retransmissions", k.Name)
+		}
+		if ratio := lossy.Seconds / clean.Seconds; ratio > 3 {
+			t.Errorf("%s at 1%% loss: %.2fx the fault-free time, budget is 3x", k.Name, ratio)
+		}
+	}
+}
+
+// TestChaosDeterministic: a kernel under faults is reproducible — equal
+// seeds give identical times, messages and recovery counters.
+func TestChaosDeterministic(t *testing.T) {
+	k := Kernels(machine.CM5(), smallParams())[0]
+	a := k.Run(Faults(7, 0.05), true)
+	b := k.Run(Faults(7, 0.05), true)
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("verification failed: %v / %v", a.Err, b.Err)
+	}
+	if a.Seconds != b.Seconds || a.Messages != b.Messages || a.Stats != b.Stats {
+		t.Fatalf("same seed, different executions:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestChaosUnreliableBaseline: with faults off, the plain (unreliable)
+// configuration still verifies — the baseline row of Table 8.
+func TestChaosUnreliableBaseline(t *testing.T) {
+	for _, k := range Kernels(machine.CM5(), smallParams()) {
+		r := k.Run(nil, false)
+		if r.Err != nil {
+			t.Fatalf("%s baseline: %v", k.Name, r.Err)
+		}
+	}
+}

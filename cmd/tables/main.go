@@ -20,6 +20,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/apps/chaos"
 	"repro/apps/em3d"
 	"repro/apps/mdforce"
 	migapp "repro/apps/migrate"
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6, 7")
+	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6, 7, 8")
 	scale := flag.String("scale", "medium", "problem scale: small, medium, full")
 	seed := flag.Int64("seed", 1995, "workload generation seed")
 	flag.Parse()
@@ -45,7 +46,7 @@ func main() {
 		}
 	}
 	ok := false
-	for _, name := range []string{"2", "3", "4", "5", "6", "7"} {
+	for _, name := range []string{"2", "3", "4", "5", "6", "7", "8"} {
 		if *table == "all" || *table == name {
 			ok = true
 		}
@@ -60,6 +61,7 @@ func main() {
 	run("5", table5)
 	run("6", table6)
 	run("7", table7)
+	run("8", table8)
 }
 
 // table2 prints the base call and fallback overheads per schema.
@@ -280,6 +282,66 @@ func table7(scale string, seed int64) {
 		t.Render(os.Stdout)
 		fmt.Println()
 	}
+}
+
+// table8 prints the chaos sweep: the verified kernels re-run over a network
+// that drops, duplicates, reorders and jitters messages and brown-outs
+// nodes, at increasing loss rates, with the reliable-delivery layer
+// recovering. Every run is verified against the native reference (a fault
+// must never change the answer, only the cost); any verification failure or
+// a lossy run exceeding 3x its kernel's fault-free time is fatal.
+func table8(scale string, seed int64) {
+	p := chaos.DefaultParams(seed)
+	switch scale {
+	case "small":
+		p.Sor.G, p.Sor.Iters = 24, 3
+		p.MD.Atoms, p.MDIters = 600, 2
+	case "full":
+		p.Sor.G, p.Sor.P, p.Sor.Iters = 96, 4, 8
+		p.MD.Atoms, p.MD.Clusters, p.MD.Box, p.MD.Nodes = 4000, 64, 24, 16
+		p.MDIters = 6
+	}
+	losses := []float64{0, 0.001, 0.01, 0.05}
+	mdl := machine.CM5()
+	t := stats.Table{
+		Title: fmt.Sprintf("Table 8 — fault injection: SOR %dx%d / MD-Force %d atoms, %s, drop+dup+reorder+brown-outs",
+			p.Sor.G, p.Sor.G, p.MD.Atoms, mdl.Name),
+		Headers: []string{"kernel", "network", "msgs", "drops", "retx", "dup-supp", "acks", "time (s)", "vs clean"},
+	}
+	for _, k := range chaos.Kernels(mdl, p) {
+		base := k.Run(nil, false)
+		if base.Err != nil {
+			fmt.Fprintf(os.Stderr, "table8: %s baseline: %v\n", k.Name, base.Err)
+			os.Exit(1)
+		}
+		addRow := func(network string, r chaos.RunResult) {
+			t.AddRow(k.Name, network,
+				fmt.Sprintf("%d", r.Messages),
+				fmt.Sprintf("%d", r.Stats.DropsSeen),
+				fmt.Sprintf("%d", r.Stats.Retransmits),
+				fmt.Sprintf("%d", r.Stats.DupSuppressed),
+				fmt.Sprintf("%d", r.Stats.AcksSent),
+				stats.Seconds(r.Seconds),
+				fmt.Sprintf("%.2f", r.Seconds/base.Seconds))
+		}
+		addRow("plain", base)
+		for _, loss := range losses {
+			name := fmt.Sprintf("%.1f%% loss", loss*100)
+			r := k.Run(chaos.Faults(uint64(seed), loss), true)
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "table8: %s at %s: %v\n", k.Name, name, r.Err)
+				os.Exit(1)
+			}
+			if ratio := r.Seconds / base.Seconds; ratio > 3 {
+				fmt.Fprintf(os.Stderr, "table8: %s at %s: %.2fx the fault-free time, budget is 3x\n",
+					k.Name, name, ratio)
+				os.Exit(1)
+			}
+			addRow(name, r)
+		}
+	}
+	t.AddNote("reliable layer on for every swept row; results verified against the native reference at every loss rate")
+	t.Render(os.Stdout)
 }
 
 // table6 prints the EM3D variant/locality sweep.

@@ -82,6 +82,12 @@ type (
 	Model = machine.Model
 	// BodyFunc is a resumable method body.
 	BodyFunc = core.BodyFunc
+	// Faults configures network fault injection (drops, duplicates,
+	// reordering, node stalls and brown-outs); install via Config.Faults.
+	// Lossy configurations require Config.Reliable.
+	Faults = sim.Faults
+	// FaultStats counts the faults the network actually injected in a run.
+	FaultStats = sim.FaultStats
 )
 
 // Status and call-status values, re-exported.
@@ -146,11 +152,28 @@ type System struct {
 }
 
 // NewSystem builds a machine of `nodes` processors described by model,
-// running prog (which must already be Resolved) under cfg.
+// running prog (which must already be Resolved) under cfg. An invalid
+// configuration panics with a descriptive error; use NewSystemChecked to
+// receive it as an error value instead.
 func NewSystem(model *Model, nodes int, prog *Program, cfg Config) *System {
+	sys, err := NewSystemChecked(model, nodes, prog, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// NewSystemChecked is NewSystem returning configuration mistakes — a nil
+// machine model, a negative MigrationPeriod, out-of-range fault
+// probabilities, lossy faults without Reliable — as descriptive errors
+// before any simulation state is built, instead of panicking mid-run.
+func NewSystemChecked(model *Model, nodes int, prog *Program, cfg Config) (*System, error) {
+	if err := core.ValidateConfig(model, cfg); err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine(nodes)
 	rt := core.NewRT(eng, model, prog, cfg)
-	return &System{Eng: eng, RT: rt, Model: model, Prog: prog}
+	return &System{Eng: eng, RT: rt, Model: model, Prog: prog}, nil
 }
 
 // Nodes returns the machine size.
@@ -236,3 +259,11 @@ func (s *System) Counters() instr.Counters { return s.Eng.TotalCounters() }
 
 // Messages returns the total number of messages sent.
 func (s *System) Messages() int64 { return s.Eng.TotalMessages() }
+
+// FaultStats returns the machine-wide injected-fault counts (all zero on a
+// fault-free network).
+func (s *System) FaultStats() FaultStats { return s.Eng.FaultStats() }
+
+// ValidateConfig checks a (model, config) pair without building a system;
+// NewSystemChecked calls it for you.
+func ValidateConfig(model *Model, cfg Config) error { return core.ValidateConfig(model, cfg) }

@@ -187,7 +187,7 @@ func (rt *RT) migrateNow(n *NodeRT, obj *Object, dest int) {
 	msg := &Msg{kind: msgMigrate, target: obj.Ref, obj: obj, from: int32(n.ID)}
 	to := rt.Nodes[dest]
 	lat := rt.Model.NetLatency + rt.Model.NetPerWord*instr.Instr(w)
-	rt.Eng.Send(n.Sim, to.Sim, lat, w, func() { to.inbox.push(msg) })
+	rt.send(n, to, msg, w, lat)
 }
 
 // handleMigrate installs an arrived object on its new home, drains any
@@ -196,6 +196,19 @@ func (rt *RT) migrateNow(n *NodeRT, obj *Object, dest int) {
 // address, so steady-state chains through the birth stub are one hop.
 func (rt *RT) handleMigrate(n *NodeRT, msg *Msg) {
 	obj := msg.obj
+	if cur, has := n.entry(obj.Ref); has {
+		// Arrival must be idempotent under redelivery (the reliable layer
+		// suppresses duplicates before the inbox, but the protocol does not
+		// depend on it): if this residence is already installed, or the
+		// local entry is a stub at least as new as the payload (the object
+		// has already moved on), the payload is stale — drop it.
+		if cur == obj && !cur.away {
+			return
+		}
+		if cur.away && cur.fwdVer >= obj.moves {
+			return
+		}
+	}
 	w := 4 + migrateWords(obj.State)
 	n.charge(instr.OpMigrate, rt.Model.MigInstall+rt.Model.MigPerWord*instr.Instr(w))
 	obj.away = false
@@ -222,25 +235,43 @@ func (rt *RT) handleMigrate(n *NodeRT, msg *Msg) {
 func (rt *RT) forwardRequest(n *NodeRT, msg *Msg, stub *Object) {
 	loc := int(stub.fwdTo)
 	msg.hops++
+	if limit := rt.maxForwardHops(); int(msg.hops) > limit {
+		// A chain this long means routing state is corrupt (a cycle, or
+		// hints regressing) — under message loss that must be a loud,
+		// traced error, not unbounded ricocheting.
+		rt.traceEvent(n, uint8(trace.KHopLimit), msg.method, int64(msg.hops))
+		panic(fmt.Sprintf("core: request for %v exceeded forwarding bound: %d hops (limit %d) at node %d",
+			msg.target, msg.hops, limit, n.ID))
+	}
 	n.charge(instr.OpMigrate, rt.Model.FwdHop)
 	n.Stats.ForwardHops++
 	rt.traceEvent(n, uint8(trace.KForwardHop), msg.method, int64(msg.hops))
 	to := rt.Nodes[loc]
 	w := msg.words()
 	lat := rt.Model.NetLatency + rt.Model.NetPerWord*instr.Instr(w)
-	rt.Eng.Send(n.Sim, to.Sim, lat, w, func() { to.inbox.push(msg) })
+	rt.send(n, to, msg, w, lat)
 
 	if from := int(msg.from); from >= 0 && from != n.ID && from != loc {
 		rt.sendMoved(n, rt.Nodes[from], msg.target, stub.fwdTo, stub.fwdVer)
 	}
 }
 
+// maxForwardHops returns the forwarding-chain bound. Stub targets strictly
+// advance along the migration history, so a legitimate chain is at most the
+// number of homes the object ever had; 2*nodes+8 leaves slack for requests
+// chasing a repeatedly-migrating object without tolerating a cycle.
+func (rt *RT) maxForwardHops() int {
+	if rt.Cfg.MaxForwardHops > 0 {
+		return rt.Cfg.MaxForwardHops
+	}
+	return 2*len(rt.Nodes) + 8
+}
+
 // sendMoved transmits a path-compression notice: "as of residence ver, ref
 // lives at loc".
 func (rt *RT) sendMoved(n, to *NodeRT, ref Ref, loc, ver int32) {
 	notice := &Msg{kind: msgMoved, target: ref, loc: loc, ver: ver, from: int32(n.ID)}
-	rt.Eng.Send(n.Sim, to.Sim, rt.Model.ReplyLatency, notice.words(),
-		func() { to.inbox.push(notice) })
+	rt.send(n, to, notice, notice.words(), rt.Model.ReplyLatency)
 }
 
 // handleMoved applies a path-compression notice: retarget this node's
@@ -402,9 +433,12 @@ func (rt *RT) startHeartbeat() {
 	var tick func()
 	tick = func() {
 		pol.Tick(rt, rt.Eng.Now())
-		if rt.Eng.Pending() > 0 {
-			rt.Eng.Schedule(rt.Eng.Now()+period, tick)
+		// A service event: only real pending work keeps the heartbeat
+		// alive, so it cannot sustain itself — or other services, like the
+		// fault-window generators — on an otherwise idle machine.
+		if rt.Eng.PendingWork() > 0 {
+			rt.Eng.ScheduleService(rt.Eng.Now()+period, tick)
 		}
 	}
-	rt.Eng.Schedule(rt.Eng.Now()+period, tick)
+	rt.Eng.ScheduleService(rt.Eng.Now()+period, tick)
 }

@@ -110,7 +110,7 @@ func (rt *RT) sendRequest(from *NodeRT, m *Method, target Ref, args []Word, cont
 	rt.traceEvent(from, uint8(trace.KMsgSend), m, int64(w))
 	to := rt.Nodes[dest]
 	lat := rt.Model.NetLatency + rt.Model.NetPerWord*instr.Instr(w)
-	rt.Eng.Send(from.Sim, to.Sim, lat, w, func() { to.inbox.push(msg) })
+	rt.send(from, to, msg, w, lat)
 }
 
 // maxMsgWords returns the configured message-size limit.
@@ -128,7 +128,7 @@ func (rt *RT) sendReply(from *NodeRT, cont Cont, val Word) {
 	from.Stats.Replies++
 	rt.traceEvent(from, uint8(trace.KMsgSend), nil, int64(msg.words()))
 	to := rt.Nodes[cont.Node]
-	rt.Eng.Send(from.Sim, to.Sim, rt.Model.ReplyLatency, msg.words(), func() { to.inbox.push(msg) })
+	rt.send(from, to, msg, msg.words(), rt.Model.ReplyLatency)
 }
 
 // handleMsg processes one arrived message on node n. Requests are first

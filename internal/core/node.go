@@ -36,6 +36,12 @@ type NodeRT struct {
 	// stackDepth tracks current speculative-inlining depth.
 	stackDepth int
 
+	// Reliable-delivery link state, indexed by peer node; entries are
+	// created on first use and both slices stay nil unless Config.Reliable
+	// is set (see reliable.go).
+	relOut []*sendLink
+	relIn  []*recvLink
+
 	Stats NodeStats
 }
 
@@ -60,6 +66,14 @@ type NodeStats struct {
 	ForwardHops int64 // requests re-routed through a forwarding stub here
 	HintUpdates int64 // name-table (path compression) updates applied
 	MigrateParks int64 // requests parked waiting for an in-flight object
+
+	// Reliable-delivery counters (zero unless Config.Reliable is set).
+	DropsSeen     int64 // frames this node sent that the network dropped
+	Retransmits   int64 // unacked frames resent by this node
+	DupSuppressed int64 // duplicate frames discarded by this node's receiver
+	AcksSent      int64 // cumulative ack frames sent by this node
+	Stalls        int64 // stall/brown-out windows injected on this node
+	MaxBackoff    int64 // peak per-frame retransmit timeout reached (instr)
 }
 
 // add accumulates other into s.
@@ -79,6 +93,14 @@ func (s *NodeStats) add(other *NodeStats) {
 	s.ForwardHops += other.ForwardHops
 	s.HintUpdates += other.HintUpdates
 	s.MigrateParks += other.MigrateParks
+	s.DropsSeen += other.DropsSeen
+	s.Retransmits += other.Retransmits
+	s.DupSuppressed += other.DupSuppressed
+	s.AcksSent += other.AcksSent
+	s.Stalls += other.Stalls
+	if other.MaxBackoff > s.MaxBackoff {
+		s.MaxBackoff = other.MaxBackoff
+	}
 }
 
 // NewObject installs state as a new object on this node and returns its

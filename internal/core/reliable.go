@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/instr"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Reliable delivery: exactly-once message handling over an at-least-once
+// (or worse) network. The fault-injected network (sim.Faults) may drop,
+// duplicate or reorder any frame; this layer restores the invariant the
+// rest of the runtime was built on — every handler (request wrapper, reply,
+// msgMigrate, msgMoved) executes exactly once — by layering, per directed
+// (sender, destination) link:
+//
+//   - sequence numbers on every data frame (one extra modeled header word);
+//   - an in-order receive window: frames beyond the cumulative cursor are
+//     buffered, contiguous frames are released to the node's inbox exactly
+//     once, and anything at or below the cursor (or already buffered) is
+//     suppressed as a duplicate;
+//   - cumulative acks, delayed briefly so one ack covers a batch of frames,
+//     carried on small unreliable frames (a lost ack only costs a
+//     retransmission, which the receiver suppresses and re-acks);
+//   - sender-side retransmission with per-frame exponential backoff up to a
+//     configurable cap, driven by engine timers.
+//
+// The layer is engaged only when Config.Reliable is set; otherwise sends go
+// straight to the engine exactly as before, with no extra charges. Acks and
+// retransmissions are charged to the owning node like any other messaging
+// software overhead, so fault recovery costs virtual time — the overhead
+// the chaos tables (cmd/tables -table 8) measure.
+
+// relSeqWords is the modeled size of the per-frame sequence header.
+const relSeqWords = 1
+
+// ackWords is the modeled size of a cumulative ack frame (link id + cursor).
+const ackWords = 2
+
+// sendLink is the sender half of one directed link.
+type sendLink struct {
+	to      int
+	nextSeq uint64
+	pending []*relFrame // unacked frames, in sequence order
+	timer   *sim.Timer  // earliest-deadline retransmit timer
+	timerAt sim.Time
+	// arrivalHigh is the latest expected arrival among frames sent on this
+	// link. Delivery is released in order, so no frame can be acked before
+	// every earlier frame has arrived; deadlines are computed from this
+	// high-water mark, or small frames queued behind a slow bulk frame
+	// (a migration payload) would time out spuriously.
+	arrivalHigh sim.Time
+}
+
+// relFrame is one in-flight (sent, not yet cumulatively acked) data frame.
+type relFrame struct {
+	seq      uint64
+	msg      *Msg
+	words    int // modeled size incl. sequence header
+	lat      instr.Instr
+	deadline sim.Time    // retransmit when not acked by this time
+	rto      instr.Instr // current backoff; doubles per retransmission
+	sends    int         // transmissions so far (1 = original only)
+}
+
+// recvLink is the receiver half of one directed link.
+type recvLink struct {
+	from     int
+	cursor   uint64          // all frames with seq <= cursor were delivered
+	buf      map[uint64]*Msg // out-of-order frames beyond cursor+1
+	ackTimer *sim.Timer      // pending delayed-ack timer
+	acked    uint64          // cursor value covered by the last ack sent
+}
+
+// reliable reports whether the exactly-once layer is engaged.
+func (rt *RT) reliable() bool { return rt.Cfg.Reliable }
+
+// rtoBase returns the initial retransmit timeout: configured, or roughly
+// two model round trips so a healthy link never retransmits.
+func (rt *RT) rtoBase() instr.Instr {
+	if rt.Cfg.RetransmitBase > 0 {
+		return rt.Cfg.RetransmitBase
+	}
+	m := rt.Model
+	return 2 * (m.MsgSendBase + m.NetLatency + m.MsgRecvBase +
+		m.ReplySend + m.ReplyLatency + m.ReplyRecv)
+}
+
+// rtoCap returns the backoff ceiling.
+func (rt *RT) rtoCap() instr.Instr {
+	if rt.Cfg.RetransmitCap > 0 {
+		return rt.Cfg.RetransmitCap
+	}
+	return 64 * rt.rtoBase()
+}
+
+// ackDelay returns the delayed-ack coalescing window.
+func (rt *RT) ackDelay() instr.Instr {
+	if rt.Cfg.AckDelay > 0 {
+		return rt.Cfg.AckDelay
+	}
+	return rt.Model.NetLatency
+}
+
+// outLink returns (creating if needed) n's sender link toward dest.
+func (n *NodeRT) outLink(dest int) *sendLink {
+	if n.relOut == nil {
+		n.relOut = make([]*sendLink, len(n.rt.Nodes))
+	}
+	l := n.relOut[dest]
+	if l == nil {
+		l = &sendLink{to: dest}
+		n.relOut[dest] = l
+	}
+	return l
+}
+
+// inLink returns (creating if needed) n's receiver link from src.
+func (n *NodeRT) inLink(src int) *recvLink {
+	if n.relIn == nil {
+		n.relIn = make([]*recvLink, len(n.rt.Nodes))
+	}
+	l := n.relIn[src]
+	if l == nil {
+		l = &recvLink{from: src, buf: make(map[uint64]*Msg)}
+		n.relIn[src] = l
+	}
+	return l
+}
+
+// send transmits one runtime message from node `from` to node `to` with the
+// given modeled payload size and network latency. This is the single choke
+// point for every message the runtime emits (requests, replies, migrations,
+// moved notices): unreliable mode hands the message straight to the engine;
+// reliable mode frames it with a sequence number and takes responsibility
+// for redelivery until acked.
+func (rt *RT) send(from, to *NodeRT, msg *Msg, w int, lat instr.Instr) {
+	if !rt.reliable() {
+		rt.Eng.Send(from.Sim, to.Sim, lat, w, func() { to.inbox.push(msg) })
+		return
+	}
+	l := from.outLink(to.ID)
+	l.nextSeq++
+	f := &relFrame{seq: l.nextSeq, msg: msg, words: w + relSeqWords, lat: lat, rto: rt.rtoBase()}
+	l.pending = append(l.pending, f)
+	start := from.Sim.Clock
+	if now := rt.Eng.Now(); start < now {
+		start = now
+	}
+	rt.sendFrame(from, to, l, f, start)
+	rt.armRetransmit(from, l)
+}
+
+// sendFrame performs one physical transmission of a data frame, departing at
+// `depart`, and sets its retransmit deadline — the RTO beyond the earliest
+// time the frame's cumulative ack could exist (the link's arrival high-water
+// mark). Original transmissions depart at the sending node's clock (the send
+// instruction executes there); retransmissions depart at the timer's event
+// time — the NIC resends without waiting for the CPU.
+func (rt *RT) sendFrame(from, to *NodeRT, l *sendLink, f *relFrame, depart sim.Time) {
+	f.sends++
+	arrive := depart + f.lat
+	if l.arrivalHigh > arrive {
+		arrive = l.arrivalHigh
+	} else {
+		l.arrivalHigh = arrive
+	}
+	f.deadline = arrive + sim.Time(f.rto)
+	seq, msg := f.seq, f.msg
+	rt.Eng.SendAt(from.Sim, to.Sim, depart, f.lat, f.words,
+		func() { rt.recvFrame(to, from.ID, seq, msg) })
+}
+
+// armRetransmit (re)schedules the link's retransmit timer at the earliest
+// pending deadline. With nothing pending the timer is stopped.
+func (rt *RT) armRetransmit(n *NodeRT, l *sendLink) {
+	if len(l.pending) == 0 {
+		if l.timer != nil {
+			l.timer.Stop()
+			l.timer = nil
+		}
+		return
+	}
+	at := l.pending[0].deadline
+	for _, f := range l.pending[1:] {
+		if f.deadline < at {
+			at = f.deadline
+		}
+	}
+	if l.timer != nil {
+		if l.timerAt <= at {
+			return // an earlier (or equal) wake-up is already scheduled
+		}
+		l.timer.Stop()
+	}
+	l.timerAt = at
+	l.timer = rt.Eng.AfterFunc(at-rt.Eng.Now(), func() {
+		l.timer = nil
+		rt.retransmit(n, l)
+	})
+}
+
+// retransmit resends every pending frame whose deadline has passed, doubling
+// its backoff (capped), then re-arms the timer. Retransmission is charged to
+// the sending node like an original injection: recovering from loss costs
+// virtual time.
+func (rt *RT) retransmit(n *NodeRT, l *sendLink) {
+	now := rt.Eng.Now()
+	to := rt.Nodes[l.to]
+	rtoMax := rt.rtoCap()
+	for _, f := range l.pending {
+		if f.deadline > now {
+			continue
+		}
+		n.charge(instr.OpMsg, rt.Model.MsgSendBase+rt.Model.MsgPerWord*instr.Instr(f.words))
+		n.Stats.Retransmits++
+		f.rto *= 2
+		if f.rto > rtoMax {
+			f.rto = rtoMax
+		}
+		if int64(f.rto) > n.Stats.MaxBackoff {
+			n.Stats.MaxBackoff = int64(f.rto)
+		}
+		rt.traceEvent(n, uint8(trace.KRetransmit), f.msg.method, int64(f.sends+1))
+		rt.sendFrame(n, to, l, f, now)
+	}
+	rt.armRetransmit(n, l)
+}
+
+// recvFrame is the receive path of the reliable layer: duplicate
+// suppression, in-order release to the inbox, and ack scheduling. It runs
+// at frame arrival time on the destination node.
+func (rt *RT) recvFrame(n *NodeRT, from int, seq uint64, msg *Msg) {
+	l := n.inLink(from)
+	if seq <= l.cursor || l.buf[seq] != nil {
+		// Already delivered (or queued for delivery): a wire duplicate or a
+		// retransmission whose ack was lost. Discard, pay the dispatch that
+		// looked at the header, and re-ack so the sender stops resending.
+		n.charge(instr.OpMsg, rt.Model.MsgRecvBase)
+		n.Stats.DupSuppressed++
+		rt.traceEvent(n, uint8(trace.KDup), msg.method, -1)
+		rt.scheduleAck(n, l)
+		return
+	}
+	l.buf[seq] = msg
+	for {
+		next, ok := l.buf[l.cursor+1]
+		if !ok {
+			break
+		}
+		delete(l.buf, l.cursor+1)
+		l.cursor++
+		n.inbox.push(next)
+	}
+	rt.scheduleAck(n, l)
+}
+
+// scheduleAck arranges one cumulative ack covering everything delivered so
+// far, after a short coalescing delay. If an ack timer is already pending
+// the new delivery rides along — that is the batching.
+func (rt *RT) scheduleAck(n *NodeRT, l *recvLink) {
+	if l.ackTimer != nil {
+		return
+	}
+	l.ackTimer = rt.Eng.AfterFunc(sim.Time(rt.ackDelay()), func() {
+		l.ackTimer = nil
+		rt.sendAck(n, l)
+	})
+}
+
+// sendAck emits the cumulative ack frame. Acks are unreliable (never
+// sequenced or retransmitted): they are idempotent, and a lost ack merely
+// provokes a retransmission that the receiver suppresses and re-acks.
+func (rt *RT) sendAck(n *NodeRT, l *recvLink) {
+	covered := int64(l.cursor - l.acked)
+	l.acked = l.cursor
+	cursor := l.cursor
+	n.charge(instr.OpMsg, rt.Model.ReplySend)
+	n.Stats.AcksSent++
+	rt.traceEvent(n, uint8(trace.KAckBatch), nil, covered)
+	peer := rt.Nodes[l.from]
+	// Departs at the event time of the ack timer, not the node's clock: acks
+	// are NIC-level and must not queue behind a busy CPU, or a loaded
+	// receiver would provoke spurious retransmissions from every sender.
+	rt.Eng.SendAt(n.Sim, peer.Sim, rt.Eng.Now(), rt.Model.ReplyLatency, ackWords,
+		func() { rt.recvAck(peer, n.ID, cursor) })
+}
+
+// recvAck applies a cumulative ack on the sending side: every pending frame
+// at or below the cursor is settled, and the retransmit timer is re-armed
+// for whatever remains. Stale (reordered) acks are harmless no-ops.
+func (rt *RT) recvAck(n *NodeRT, from int, cursor uint64) {
+	l := n.outLink(from)
+	keep := l.pending[:0]
+	for _, f := range l.pending {
+		if f.seq > cursor {
+			keep = append(keep, f)
+		}
+	}
+	if len(keep) == len(l.pending) {
+		return // nothing newly acked
+	}
+	l.pending = keep
+	n.charge(instr.OpMsg, rt.Model.ReplyRecv)
+	rt.armRetransmit(n, l)
+}
+
+// installFaults wires the configured fault layer into the engine and
+// installs the observer that turns injected faults into trace events and
+// per-node statistics. Called from NewRT.
+func (rt *RT) installFaults() {
+	if rt.Cfg.Faults == nil {
+		return
+	}
+	rt.Eng.SetFaults(rt.Cfg.Faults)
+	rt.Eng.SetFaultObserver(func(kind sim.FaultKind, from, to int, words int, aux sim.Time) {
+		n := rt.Nodes[from]
+		switch kind {
+		case sim.FaultDrop:
+			n.Stats.DropsSeen++
+			rt.traceEvent(n, uint8(trace.KDrop), nil, int64(words))
+		case sim.FaultDup:
+			rt.traceEvent(n, uint8(trace.KDup), nil, int64(words))
+		case sim.FaultJitter:
+			// Reordering needs no recovery; it is visible as out-of-order
+			// buffering at the receiver, so it is not traced separately.
+		case sim.FaultStall, sim.FaultSlow:
+			n.Stats.Stalls++
+			rt.traceEvent(n, uint8(trace.KStall), nil, int64(aux))
+		}
+	})
+}
+
+// checkLinksQuiescent verifies the reliable layer is drained: no unacked
+// frames and no buffered out-of-order deliveries anywhere.
+func (rt *RT) checkLinksQuiescent() error {
+	if !rt.reliable() {
+		return nil
+	}
+	for _, n := range rt.Nodes {
+		for _, l := range n.relOut {
+			if l != nil && len(l.pending) > 0 {
+				return fmt.Errorf("core: node %d link->%d not quiescent: %d unacked frames",
+					n.ID, l.to, len(l.pending))
+			}
+		}
+		for _, l := range n.relIn {
+			if l != nil && len(l.buf) > 0 {
+				return fmt.Errorf("core: node %d link<-%d not quiescent: %d frames buffered out of order",
+					n.ID, l.from, len(l.buf))
+			}
+		}
+	}
+	return nil
+}

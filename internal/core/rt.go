@@ -23,8 +23,15 @@ type RT struct {
 
 // NewRT builds a runtime over eng with the given machine model, resolved
 // program, and execution-model configuration, and installs itself as the
-// engine's runner.
+// engine's runner. The configuration is validated up front — a bad one
+// (nil model, out-of-range fault probabilities, lossy faults without the
+// reliable layer) fails fast here with a descriptive error instead of
+// panicking deep in the run; callers that prefer an error value should
+// check ValidateConfig first (the concert facade's NewSystemChecked does).
 func NewRT(eng *sim.Engine, mdl *machine.Model, prog *Program, cfg Config) *RT {
+	if err := ValidateConfig(mdl, cfg); err != nil {
+		panic(err)
+	}
 	if cfg.MaxStackDepth <= 0 {
 		cfg.MaxStackDepth = 1024
 	}
@@ -34,6 +41,7 @@ func NewRT(eng *sim.Engine, mdl *machine.Model, prog *Program, cfg Config) *RT {
 		rt.Nodes[i] = &NodeRT{ID: i, Sim: eng.Node(i), rt: rt}
 	}
 	eng.SetRunner(rt)
+	rt.installFaults()
 	return rt
 }
 
@@ -103,7 +111,7 @@ func (rt *RT) CheckQuiescence() error {
 			}
 		}
 	}
-	return nil
+	return rt.checkLinksQuiescent()
 }
 
 // traceEvent reports one event to the configured tracer, if any.

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/sim"
+
 // Status is what a method body returns to the runtime. Bodies are resumable
 // state machines (the shape of the C code the Concert compiler emitted):
 // they execute from fr.PC and return one of these.
@@ -120,6 +122,31 @@ type Config struct {
 	MigrationPeriod Instr
 	// MaxMsgWords overrides DefaultMaxMsgWords when positive.
 	MaxMsgWords int
+
+	// Faults, if non-nil, makes the simulated network misbehave: message
+	// drops, duplicates, reordering, per-node stalls and brown-outs (see
+	// sim.Faults). A lossy configuration (Drop or Dup > 0) requires
+	// Reliable, or handlers could be lost or run twice.
+	Faults *sim.Faults
+	// Reliable layers exactly-once delivery over the (possibly faulty)
+	// network: every runtime message is sequence-numbered per (sender,
+	// destination) link, cumulatively acked, retransmitted with exponential
+	// backoff until acked, and duplicate-suppressed at the receiver. Off by
+	// default: with a fault-free network the layer only adds overhead.
+	Reliable bool
+	// RetransmitBase is the initial retransmit timeout of an unacked frame
+	// in virtual time; zero derives a default from the machine model's
+	// round-trip cost. Backoff doubles the timeout per retransmission up to
+	// RetransmitCap (zero: 64x base).
+	RetransmitBase Instr
+	RetransmitCap  Instr
+	// AckDelay is how long a receiver coalesces deliveries before sending
+	// one cumulative ack; zero derives a default from the model.
+	AckDelay Instr
+	// MaxForwardHops bounds a request's forwarding chain (stale-hint
+	// re-routes under migration); zero derives 2*nodes+8. Exceeding the
+	// bound is a traced runtime error, not silent unbounded growth.
+	MaxForwardHops int
 }
 
 // Tracer receives execution-model events from the runtime. Implementations

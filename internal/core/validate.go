@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// ValidateConfig checks a (model, config) pair before any virtual time is
+// spent, returning a descriptive error for mistakes that previously
+// surfaced as panics deep inside a run: a nil machine model, a negative
+// migration period, out-of-range fault probabilities, or a lossy fault
+// configuration without the reliable-delivery layer to survive it.
+func ValidateConfig(mdl *machine.Model, cfg Config) error {
+	if mdl == nil {
+		return fmt.Errorf("core: machine model is nil (use machine.CM5/T3D/SPARCStation or machine.ByName)")
+	}
+	if cfg.MigrationPeriod < 0 {
+		return fmt.Errorf("core: MigrationPeriod = %d is negative; use 0 to disable the heartbeat", cfg.MigrationPeriod)
+	}
+	if cfg.MigrationPeriod > 0 && cfg.Migration == nil {
+		return fmt.Errorf("core: MigrationPeriod = %d set without a Migration policy", cfg.MigrationPeriod)
+	}
+	if cfg.MaxMsgWords < 0 {
+		return fmt.Errorf("core: MaxMsgWords = %d is negative; use 0 for the default", cfg.MaxMsgWords)
+	}
+	if cfg.MaxForwardHops < 0 {
+		return fmt.Errorf("core: MaxForwardHops = %d is negative; use 0 for the default", cfg.MaxForwardHops)
+	}
+	for _, p := range []struct {
+		name string
+		v    Instr
+	}{{"RetransmitBase", cfg.RetransmitBase}, {"RetransmitCap", cfg.RetransmitCap}, {"AckDelay", cfg.AckDelay}} {
+		if p.v < 0 {
+			return fmt.Errorf("core: %s = %d is negative; use 0 for the model-derived default", p.name, p.v)
+		}
+	}
+	if cfg.RetransmitCap > 0 && cfg.RetransmitBase > cfg.RetransmitCap {
+		return fmt.Errorf("core: RetransmitBase %d exceeds RetransmitCap %d", cfg.RetransmitBase, cfg.RetransmitCap)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return err
+	}
+	if cfg.Faults.Lossy() && !cfg.Reliable {
+		return fmt.Errorf("core: Faults can drop or duplicate messages (Drop=%g, Dup=%g) but Reliable is off; "+
+			"handlers would be lost or run twice — set Config.Reliable", cfg.Faults.Drop, cfg.Faults.Dup)
+	}
+	return nil
+}

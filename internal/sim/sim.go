@@ -46,6 +46,13 @@ type Node struct {
 
 	eng         *Engine
 	pumpPending bool
+
+	// Fault-injection windows (see faults.go). stallUntil freezes the node
+	// until that time; slowUntil/slowFactor multiply every charged
+	// instruction during a brown-out.
+	stallUntil Time
+	slowUntil  Time
+	slowFactor int
 }
 
 // Engine is the discrete-event core.
@@ -58,6 +65,14 @@ type Engine struct {
 
 	// EventCount is the total number of events dispatched.
 	EventCount int64
+
+	// Fault injection (nil when fault-free; see faults.go).
+	faults     *faultState
+	faultStats FaultStats
+
+	// servicePending counts scheduled service events (periodic ticks that
+	// must not, by themselves, keep the simulation alive).
+	servicePending int
 }
 
 // NewEngine creates an engine with n nodes, all clocks at zero.
@@ -97,6 +112,43 @@ func (e *Engine) Schedule(at Time, fn func()) {
 	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
 }
 
+// ScheduleService registers a service event: a periodic tick (migration
+// heartbeat, fault-window generator) that must not keep the machine alive on
+// its own. PendingWork excludes service events, so services that reschedule
+// only while PendingWork() > 0 cannot sustain each other indefinitely.
+func (e *Engine) ScheduleService(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	e.servicePending++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn, service: true})
+}
+
+// Timer is a cancellable scheduled callback (see AfterFunc). The runtime
+// layer uses timers for retransmissions and delayed acks.
+type Timer struct{ stopped bool }
+
+// Stop cancels the timer. Stopping an already-fired timer is a no-op. The
+// cancelled event still occupies a heap slot until its time comes, but runs
+// nothing and does not advance any node clock.
+func (t *Timer) Stop() { t.stopped = true }
+
+// AfterFunc schedules fn to run after delay (from the current event time)
+// unless the returned timer is stopped first.
+func (e *Engine) AfterFunc(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	t := &Timer{}
+	e.Schedule(e.now+delay, func() {
+		if !t.stopped {
+			fn()
+		}
+	})
+	return t
+}
+
 // Wake ensures node n will get a chance to run pending work. If a pump is
 // already scheduled for n this is a no-op; otherwise a pump event is
 // scheduled at the node's current clock (or now, whichever is later).
@@ -114,8 +166,18 @@ func (e *Engine) Wake(n *Node) {
 
 // pump runs exactly one task on n, then reschedules itself while work
 // remains. Idle time (clock behind event time) is charged to OpIdle.
+// A node inside a full-stall window executes nothing until the window ends:
+// its pump is deferred to the window edge and arrived work queues up.
 func (e *Engine) pump(n *Node) {
 	n.pumpPending = false
+	if n.stallUntil > e.now {
+		// Deferred as a service event: the stalled pump will still run at
+		// the window edge, but must not count as pending real work (the
+		// window generator would see it and keep opening windows forever).
+		n.pumpPending = true
+		e.ScheduleService(n.stallUntil, func() { e.pump(n) })
+		return
+	}
 	if n.Clock < e.now {
 		n.Counters.Add(instr.OpIdle, e.now-n.Clock)
 		n.Clock = e.now
@@ -136,12 +198,43 @@ func (e *Engine) pump(n *Node) {
 // Payload words are counted for statistics only; serialization costs are
 // charged by the runtime layer.
 func (e *Engine) Send(from, to *Node, latency Time, words int, deliver func()) {
+	e.SendAt(from, to, from.Clock, latency, words, deliver)
+}
+
+// SendAt is Send with the departure time given explicitly instead of taken
+// from the sender's clock. Timer-driven NIC-level traffic (acks,
+// retransmissions) uses it with the current event time: such frames leave
+// when their timer fires, not serialized behind whatever the node's CPU is
+// executing (its clock may be far ahead of the event driving the timer).
+func (e *Engine) SendAt(from, to *Node, depart, latency Time, words int, deliver func()) {
 	from.MsgsSent++
 	from.WordsSent += int64(words)
-	arrive := from.Clock + latency
+	arrive := depart + latency
 	if arrive < e.now {
 		arrive = e.now
 	}
+	if f := e.faults; f != nil {
+		cfg := f.cfg
+		if f.hit(cfg.Drop) {
+			e.observeFault(FaultDrop, from, to, words, 0)
+			return
+		}
+		if f.hit(cfg.Reorder) {
+			j := f.jitter(cfg.JitterMax)
+			e.observeFault(FaultJitter, from, to, words, j)
+			arrive += j
+		}
+		if f.hit(cfg.Dup) {
+			e.observeFault(FaultDup, from, to, words, 0)
+			dup := arrive + f.jitter(cfg.JitterMax+1)
+			e.deliverAt(to, dup, deliver)
+		}
+	}
+	e.deliverAt(to, arrive, deliver)
+}
+
+// deliverAt schedules one physical delivery of a message at node `to`.
+func (e *Engine) deliverAt(to *Node, arrive Time, deliver func()) {
 	e.Schedule(arrive, func() {
 		to.MsgsRecv++
 		deliver()
@@ -153,6 +246,7 @@ func (e *Engine) Send(from, to *Node, latency Time, words int, deliver func()) {
 // pumping while they have work, so an empty event queue means global
 // quiescence: every node idle with empty queues.
 func (e *Engine) Run() {
+	e.startFaultClock()
 	for e.events.Len() > 0 {
 		e.step()
 	}
@@ -161,15 +255,20 @@ func (e *Engine) Run() {
 // RunUntil dispatches events with time <= t, then stops. It returns true if
 // events remain.
 func (e *Engine) RunUntil(t Time) bool {
+	e.startFaultClock()
 	for e.events.Len() > 0 && e.events[0].at <= t {
 		e.step()
 	}
 	return e.events.Len() > 0
 }
 
-// Pending returns the number of undispatched events. Periodic services use
-// it to stop rescheduling themselves once the machine is otherwise idle.
+// Pending returns the number of undispatched events.
 func (e *Engine) Pending() int { return e.events.Len() }
+
+// PendingWork returns the number of undispatched non-service events.
+// Periodic services use it to stop rescheduling themselves once the machine
+// is otherwise idle (counting each other would sustain them forever).
+func (e *Engine) PendingWork() int { return e.events.Len() - e.servicePending }
 
 // Step dispatches a single event, returning false if none remain.
 func (e *Engine) Step() bool {
@@ -182,6 +281,9 @@ func (e *Engine) Step() bool {
 
 func (e *Engine) step() {
 	ev := heap.Pop(&e.events).(event)
+	if ev.service {
+		e.servicePending--
+	}
 	e.now = ev.at
 	e.EventCount++
 	ev.fn()
@@ -217,16 +319,21 @@ func (e *Engine) TotalMessages() int64 {
 }
 
 // Charge advances node n's clock by cost instructions, accounted under op.
+// During a brown-out window (see Faults) every instruction costs SlowFactor.
 func Charge(n *Node, op instr.Op, cost instr.Instr) {
+	if n.slowFactor > 1 && n.Clock < n.slowUntil {
+		cost *= instr.Instr(n.slowFactor)
+	}
 	n.Clock += cost
 	n.Counters.Add(op, cost)
 }
 
 // event is a scheduled callback.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at      Time
+	seq     uint64
+	fn      func()
+	service bool
 }
 
 // eventHeap is a min-heap on (at, seq).

@@ -49,6 +49,22 @@ const (
 	// KForwardHop: a request for a migrated object was re-routed through a
 	// forwarding stub (Aux: the hop count so far).
 	KForwardHop
+	// KDrop: the network dropped a message this node sent (Aux: words).
+	KDrop
+	// KDup: duplicate-delivery events. On the sending node the network
+	// duplicated a frame on the wire (Aux: words); on the receiving node the
+	// reliable layer suppressed an already-delivered frame (Aux: -1).
+	KDup
+	// KRetransmit: an unacked frame was resent (Aux: total transmissions of
+	// that frame so far, including the original).
+	KRetransmit
+	// KAckBatch: a cumulative ack was sent (Aux: frames newly covered).
+	KAckBatch
+	// KStall: this node entered a fault-injected stall or brown-out window
+	// (Aux: window length in virtual time).
+	KStall
+	// KHopLimit: a request exceeded the forwarding-chain bound (Aux: hops).
+	KHopLimit
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -58,6 +74,7 @@ var kindNames = [NumKinds]string{
 	"invoke", "stackcall", "fallback", "ctxalloc", "suspend",
 	"wake", "send", "recv", "wrapper", "reply", "complete",
 	"migstart", "migarrive", "fwdhop",
+	"drop", "dup", "retransmit", "ackbatch", "stall", "hoplimit",
 }
 
 // String returns the kind name.
