@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json tables figure9 examples chaos cover clean
+.PHONY: all build test bench bench-json tables figure9 examples chaos profile cover clean
 
 all: build test
 
@@ -43,6 +43,13 @@ examples:
 chaos:
 	$(GO) test -race -count=1 ./apps/chaos ./internal/sim ./internal/core -run 'Chaos|Fault|Reliable|Stall|Deterministic'
 	$(GO) run ./cmd/tables -table 8 -scale small
+
+# Observability smoke: a profiled kernel run with cycle attribution, the
+# critical path, and a Perfetto trace_event export (validated by the binary
+# itself: the JSON is parsed back before the run reports success).
+profile:
+	$(GO) run ./cmd/concert -app sor -nodes 16 -size 48 -iters 3 -profile -trace-out /tmp/concert_sor_trace.json
+	$(GO) run ./cmd/tables -table 4 -scale small -profile
 
 cover:
 	$(GO) test -cover ./...

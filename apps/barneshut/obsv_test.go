@@ -1,0 +1,29 @@
+package barneshut_test
+
+import (
+	"testing"
+
+	"repro/apps/barneshut"
+	"repro/internal/core"
+	"repro/internal/instr"
+	"repro/internal/machine"
+	"repro/internal/obsv"
+)
+
+// TestAttributionMatchesRun: the observability layer's cycle attribution
+// must reproduce the kernel's own reported time exactly.
+func TestAttributionMatchesRun(t *testing.T) {
+	inst := barneshut.Generate(barneshut.Params{Bodies: 200, Clusters: 16, Box: 64,
+		Nodes: 8, RepDepth: 3, Spatial: true, Seed: 21})
+	m := obsv.New()
+	cfg := core.DefaultHybrid()
+	m.Install(&cfg)
+	mdl := machine.CM5()
+	r := barneshut.Run(mdl, cfg, inst)
+	if err := m.CheckAttribution(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mdl.Seconds(instr.Instr(m.MaxClock())); got != r.Seconds {
+		t.Fatalf("attributed clock %.9fs != run %.9fs", got, r.Seconds)
+	}
+}

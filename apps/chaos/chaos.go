@@ -52,6 +52,10 @@ type Params struct {
 	Sor     sor.Params
 	MD      mdforce.Params
 	MDIters int
+	// Adorn, when non-nil, decorates every configuration the kernels build
+	// before use (e.g. to install observability). It must not change
+	// execution-model options.
+	Adorn func(core.Config) core.Config
 }
 
 // DefaultParams is a modest instance of both kernels: large enough that a
@@ -92,11 +96,18 @@ func Kernels(mdl *machine.Model, p Params) []Kernel {
 	mdNative := migapp.Native(inst, p.MDIters)
 	randAssign := migapp.CellAssignment(inst, false)
 
+	adorn := func(cfg core.Config) core.Config {
+		if p.Adorn != nil {
+			return p.Adorn(cfg)
+		}
+		return cfg
+	}
 	sorKernel := func(name string, base func() core.Config) Kernel {
 		return Kernel{Name: name, Run: func(faults *sim.Faults, reliable bool) RunResult {
 			cfg := base()
 			cfg.Faults = faults
 			cfg.Reliable = reliable
+			cfg = adorn(cfg)
 			r := sor.Run(mdl, cfg, p.Sor)
 			res := RunResult{Seconds: r.Seconds, Messages: r.Messages, Stats: r.Stats}
 			if r.Checksum != sorNative {
@@ -113,6 +124,7 @@ func Kernels(mdl *machine.Model, p Params) []Kernel {
 			if pol != nil {
 				cfg.Migration = pol()
 			}
+			cfg = adorn(cfg)
 			r := migapp.Run(mdl, cfg, inst, p.MDIters, randAssign)
 			res := RunResult{Seconds: r.Seconds, Messages: r.Messages, Stats: r.Stats}
 			if err := mdforce.MaxRelError(r.Forces, mdNative); err > 1e-9 {

@@ -1,0 +1,30 @@
+package em3d_test
+
+import (
+	"testing"
+
+	"repro/apps/em3d"
+	"repro/internal/core"
+	"repro/internal/instr"
+	"repro/internal/machine"
+	"repro/internal/obsv"
+)
+
+// TestAttributionMatchesRun: the observability layer's cycle attribution
+// must reproduce the kernel's own reported time exactly.
+func TestAttributionMatchesRun(t *testing.T) {
+	g := em3d.Generate(em3d.Params{N: 256, Degree: 8, Iters: 2, Nodes: 8, PLocal: 0.99, Seed: 7})
+	for _, v := range []em3d.Variant{em3d.Pull, em3d.Push, em3d.Forward} {
+		m := obsv.New()
+		cfg := core.DefaultHybrid()
+		m.Install(&cfg)
+		mdl := machine.CM5()
+		r := em3d.Run(mdl, cfg, v, g)
+		if err := m.CheckAttribution(); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if got := mdl.Seconds(instr.Instr(m.MaxClock())); got != r.Seconds {
+			t.Fatalf("%s: attributed clock %.9fs != run %.9fs", v, got, r.Seconds)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package mdforce_test
+
+import (
+	"testing"
+
+	"repro/apps/mdforce"
+	"repro/internal/core"
+	"repro/internal/instr"
+	"repro/internal/machine"
+	"repro/internal/obsv"
+)
+
+// TestAttributionMatchesRun: the observability layer's cycle attribution
+// must reproduce the kernel's own reported time exactly.
+func TestAttributionMatchesRun(t *testing.T) {
+	p := mdforce.DefaultParams()
+	p.Atoms, p.Clusters, p.Box, p.Nodes = 600, 27, 18, 8
+	p.Spatial = true
+	inst := mdforce.Generate(p)
+	m := obsv.New()
+	cfg := core.DefaultHybrid()
+	m.Install(&cfg)
+	mdl := machine.CM5()
+	r := mdforce.Run(mdl, cfg, inst)
+	if err := m.CheckAttribution(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mdl.Seconds(instr.Instr(m.MaxClock())); got != r.Seconds {
+		t.Fatalf("attributed clock %.9fs != run %.9fs", got, r.Seconds)
+	}
+}

@@ -66,21 +66,27 @@ type cell struct{ v int64 }
 
 // Measure runs every scenario under the given machine model and returns the
 // measured table (stack-caller and heap-caller variants of each scenario),
-// plus the parallel (heap) invocation overhead for reference.
-func Measure(mdl *machine.Model) ([]Entry, instr.Instr, instr.Instr) {
+// plus the parallel (heap) invocation overhead for reference. An optional
+// adorn hook decorates every configuration before use (e.g. to install
+// observability); it must not change execution-model options.
+func Measure(mdl *machine.Model, adorn ...func(core.Config) core.Config) ([]Entry, instr.Instr, instr.Instr) {
+	ad := func(c core.Config) core.Config { return c }
+	if len(adorn) > 0 && adorn[0] != nil {
+		ad = adorn[0]
+	}
 	var entries []Entry
 	for sc := 0; sc < numScenarios; sc++ {
 		for _, stackCaller := range []bool{true, false} {
 			entries = append(entries, Entry{
 				Scenario: scenarioNames[sc],
 				Caller:   callerName(stackCaller),
-				Overhead: measureOne(mdl, sc, stackCaller),
+				Overhead: measureOne(mdl, sc, stackCaller, ad),
 				Fallback: sc >= scMBLock,
 				Messages: sc == scMBRemote || sc == scCPForward,
 			})
 		}
 	}
-	return entries, measureHeapInvoke(mdl), mdl.RemoteInvoke(1)
+	return entries, measureHeapInvoke(mdl, ad), mdl.RemoteInvoke(1)
 }
 
 func callerName(stack bool) string {
@@ -247,7 +253,7 @@ func buildProgram() (*core.Program, *core.Method, map[string]*core.Method) {
 
 // measureOne runs one scenario and returns the recorded overhead beyond a
 // plain C call.
-func measureOne(mdl *machine.Model, sc int, stackCaller bool) instr.Instr {
+func measureOne(mdl *machine.Model, sc int, stackCaller bool, adorn func(core.Config) core.Config) instr.Instr {
 	p, measure, ms := buildProgram()
 
 	// driver: optionally provides a stack-mode measuring caller, and for
@@ -293,7 +299,7 @@ func measureOne(mdl *machine.Model, sc int, stackCaller bool) instr.Instr {
 		panic(err)
 	}
 	eng := sim.NewEngine(2)
-	cfg := core.DefaultHybrid()
+	cfg := adorn(core.DefaultHybrid())
 	rt := core.NewRT(eng, mdl, p, cfg)
 	rec := &recorder{}
 	self := rt.Node(0).NewObject(rec)
@@ -331,13 +337,13 @@ func measureOne(mdl *machine.Model, sc int, stackCaller bool) instr.Instr {
 // measureHeapInvoke measures a local parallel (heap) invocation end to end:
 // the caller-side charge plus the scheduler dispatch and reclamation,
 // mirroring Table 2's ~130-instruction reference row.
-func measureHeapInvoke(mdl *machine.Model) instr.Instr {
+func measureHeapInvoke(mdl *machine.Model, adorn func(core.Config) core.Config) instr.Instr {
 	p, measure, _ := buildProgram()
 	if err := p.Resolve(core.Interfaces3); err != nil {
 		panic(err)
 	}
 	eng := sim.NewEngine(2)
-	rt := core.NewRT(eng, mdl, p, core.ParallelOnly())
+	rt := core.NewRT(eng, mdl, p, adorn(core.ParallelOnly()))
 	rec := &recorder{}
 	self := rt.Node(0).NewObject(rec)
 	rec.remoteObj = rt.Node(1).NewObject(&cell{v: 9})

@@ -1,0 +1,28 @@
+package seqbench_test
+
+import (
+	"testing"
+
+	"repro/apps/seqbench"
+	"repro/internal/instr"
+	"repro/internal/machine"
+	"repro/internal/obsv"
+)
+
+// TestAttributionMatchesRun: attribution must be exact on the 1-node SPARC
+// runs too — every configuration column, with and without fallbacks.
+func TestAttributionMatchesRun(t *testing.T) {
+	mdl := machine.SPARCStation()
+	for _, col := range seqbench.Columns() {
+		m := obsv.New()
+		cfg := col.Cfg
+		m.Install(&cfg)
+		r := seqbench.RunFib(cfg, 14)
+		if err := m.CheckAttribution(); err != nil {
+			t.Fatalf("%s: %v", col.Name, err)
+		}
+		if got := mdl.Seconds(instr.Instr(m.MaxClock())); got != r.Seconds {
+			t.Fatalf("%s: attributed clock %.9fs != run %.9fs", col.Name, got, r.Seconds)
+		}
+	}
+}

@@ -14,10 +14,13 @@
 //	                     [-degree D] [-iters I]
 //
 // Add -verify to cross-check the simulated result against the native Go
-// reference implementation.
+// reference implementation. Add -profile for the per-method cycle
+// attribution table and the critical-path breakdown, and -trace-out FILE
+// to export the run as Chrome trace_event JSON for ui.perfetto.dev.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/instr"
 	"repro/internal/machine"
+	"repro/internal/obsv"
 )
 
 func main() {
@@ -45,6 +49,8 @@ func main() {
 	degree := flag.Int("degree", 16, "em3d: in-degree")
 	seed := flag.Int64("seed", 1995, "workload seed")
 	verify := flag.Bool("verify", false, "check the result against the native reference")
+	profile := flag.Bool("profile", false, "print per-method cycle attribution and the critical path")
+	traceOut := flag.String("trace-out", "", "write the run as Chrome trace_event JSON to FILE")
 	flag.Parse()
 
 	mdl := machine.ByName(*machineName)
@@ -68,6 +74,12 @@ func main() {
 		cfg = core.ParallelOnly()
 	default:
 		fatalf("unknown mode %q", *mode)
+	}
+
+	var metrics *obsv.Metrics
+	if *profile || *traceOut != "" {
+		metrics = obsv.New()
+		metrics.Install(&cfg)
 	}
 
 	switch *app {
@@ -131,6 +143,54 @@ func main() {
 	default:
 		fatalf("unknown app %q", *app)
 	}
+
+	if metrics != nil {
+		finishObservability(metrics, mdl, *app, *profile, *traceOut)
+	}
+}
+
+// finishObservability renders the post-run observability outputs: the
+// attribution report and/or the Perfetto export. The export is read back
+// and parsed so an invalid file fails the run instead of failing later in
+// the viewer.
+func finishObservability(m *obsv.Metrics, mdl *machine.Model, title string, profile bool, traceOut string) {
+	if err := m.CheckAttribution(); err != nil {
+		fatalf("%v", err)
+	}
+	if profile {
+		fmt.Println()
+		m.WriteReport(os.Stdout, "cycle attribution: "+title, func(v int64) float64 {
+			return mdl.Seconds(instr.Instr(v))
+		})
+	}
+	if traceOut == "" {
+		return
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		fatalf("trace-out: %v", err)
+	}
+	if err := m.WritePerfetto(f); err != nil {
+		f.Close()
+		fatalf("trace-out: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("trace-out: %v", err)
+	}
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		fatalf("trace-out: %v", err)
+	}
+	var probe struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		fatalf("trace-out: wrote invalid JSON: %v", err)
+	}
+	if len(probe.TraceEvents) == 0 {
+		fatalf("trace-out: export contains no events")
+	}
+	fmt.Printf("trace: %d events -> %s (open in ui.perfetto.dev)\n", len(probe.TraceEvents), traceOut)
 }
 
 func report(mdl *machine.Model, seconds, localFrac float64, msgs int64, st core.NodeStats, c instr.Counters) {

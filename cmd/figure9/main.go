@@ -89,13 +89,14 @@ func main() {
 	}
 
 	fell := map[[2]int]bool{}
-	for _, ev := range buf.Events() {
+	buf.Each(func(ev trace.Event) bool {
 		if ev.Kind == trace.KFallback && ev.Method == "sor.compute" {
 			if p, ok := pos[core.Word(ev.Aux)]; ok {
 				fell[p] = true
 			}
 		}
-	}
+		return true
+	})
 	fmt.Printf("Figure 9 — SOR %dx%d grid, %dx%d processors, block size %d (hybrid, CM-5)\n",
 		*grid, *grid, *procs, *procs, *block)
 	fmt.Println("'#' = compute fell back to a heap context; '.' = ran entirely on the stack")

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obsv"
+)
+
+// captureTables runs the given tables at small scale with the current adorn
+// hook and returns everything they printed.
+func captureTables(t *testing.T, tables []func(string, int64)) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	for _, fn := range tables {
+		fn("small", 1995)
+	}
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestTablesZeroPerturbation: every published table must be byte-identical
+// with the observability layer off and on. Observation hooks add no virtual
+// charges, so the simulated numbers — and therefore the rendered tables —
+// cannot move.
+func TestTablesZeroPerturbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every table twice")
+	}
+	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8}
+
+	adorn = nil
+	plain := captureTables(t, tables)
+
+	// One fresh registry per configuration: tables 4 and 6 construct configs
+	// from parallel worker goroutines, and a Metrics instance is single-run.
+	var mu sync.Mutex
+	var all []*obsv.Metrics
+	adorn = func(cfg core.Config) core.Config {
+		m := obsv.New()
+		m.Install(&cfg)
+		mu.Lock()
+		all = append(all, m)
+		mu.Unlock()
+		return cfg
+	}
+	observed := captureTables(t, tables)
+	adorn = nil
+
+	if len(all) == 0 {
+		t.Fatal("adorn hook never ran — a table builds configs outside it")
+	}
+	if plain != observed {
+		t.Fatalf("tables differ with observability on:\n--- off ---\n%s\n--- on ---\n%s", plain, observed)
+	}
+	for i, m := range all {
+		if err := m.CheckAttribution(); err != nil {
+			t.Fatalf("registry %d: %v", i, err)
+		}
+	}
+}

@@ -12,6 +12,12 @@
 //
 // -scale medium (default) runs scaled-down problems in seconds; full uses
 // the paper's problem sizes (slow for tables 4 and 6).
+//
+// -profile appends a per-kernel cycle-attribution and critical-path
+// section; -trace-out FILE additionally exports the profiled SOR run as
+// Chrome trace_event JSON for ui.perfetto.dev. The tables themselves are
+// byte-identical with or without observability (the golden test enforces
+// it).
 package main
 
 import (
@@ -28,15 +34,38 @@ import (
 	"repro/apps/seqbench"
 	"repro/apps/sor"
 	"repro/internal/core"
+	"repro/internal/instr"
 	"repro/internal/machine"
 	policy "repro/internal/migrate"
+	"repro/internal/obsv"
 	"repro/internal/stats"
 )
+
+// adorn, when non-nil, decorates every execution-model configuration the
+// tables construct before a run — the hook the observability layer and the
+// zero-perturbation golden test use. It is called from the table builders'
+// worker goroutines (tables 4 and 6), so implementations must be safe for
+// concurrent use; installing a fresh per-run registry (as obsv.Metrics
+// requires anyway) satisfies that for free.
+var adorn func(core.Config) core.Config
+
+// adorned applies the adorn hook, if any.
+func adorned(c core.Config) core.Config {
+	if adorn != nil {
+		return adorn(c)
+	}
+	return c
+}
+
+func cfgHybrid() core.Config   { return adorned(core.DefaultHybrid()) }
+func cfgParallel() core.Config { return adorned(core.ParallelOnly()) }
 
 func main() {
 	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6, 7, 8")
 	scale := flag.String("scale", "medium", "problem scale: small, medium, full")
 	seed := flag.Int64("seed", 1995, "workload generation seed")
+	profile := flag.Bool("profile", false, "append per-kernel cycle attribution and critical paths")
+	traceOut := flag.String("trace-out", "", "with -profile: write the SOR run as trace_event JSON to FILE")
 	flag.Parse()
 
 	run := func(name string, fn func(string, int64)) {
@@ -62,12 +91,16 @@ func main() {
 	run("6", table6)
 	run("7", table7)
 	run("8", table8)
+
+	if *profile || *traceOut != "" {
+		profileSection(*scale, *seed, *traceOut)
+	}
 }
 
 // table2 prints the base call and fallback overheads per schema.
 func table2(_ string, _ int64) {
 	for _, mdl := range []*machine.Model{machine.SPARCStation(), machine.CM5(), machine.T3D()} {
-		entries, heapInvoke, remote := overheads.Measure(mdl)
+		entries, heapInvoke, remote := overheads.Measure(mdl, adorn)
 		t := stats.Table{
 			Title:   fmt.Sprintf("Table 2 — invocation overheads on %s (instructions beyond a C call)", mdl.Name),
 			Headers: []string{"scenario", "caller", "overhead", "kind"},
@@ -124,7 +157,7 @@ func table3(scale string, seed int64) {
 	for _, b := range benches {
 		row := []string{b.name}
 		for _, c := range cols {
-			row = append(row, stats.Seconds(b.run(c.Cfg).Seconds))
+			row = append(row, stats.Seconds(b.run(adorned(c.Cfg)).Seconds))
 		}
 		t.AddRow(row...)
 	}
@@ -162,8 +195,8 @@ func table4(scale string, _ int64) {
 				defer wg.Done()
 				p := pr
 				p.B = b
-				cells[i].h = sor.Run(mdl, core.DefaultHybrid(), p)
-				cells[i].par = sor.Run(mdl, core.ParallelOnly(), p)
+				cells[i].h = sor.Run(mdl, cfgHybrid(), p)
+				cells[i].par = sor.Run(mdl, cfgParallel(), p)
 			}(i, b)
 		}
 		wg.Wait()
@@ -172,7 +205,7 @@ func table4(scale string, _ int64) {
 			t.AddRow(fmt.Sprintf("%d", b),
 				stats.Ratio(h.LocalFraction, 1-h.LocalFraction),
 				stats.Seconds(par.Seconds), stats.Seconds(h.Seconds),
-				fmt.Sprintf("%.2f", par.Seconds/h.Seconds))
+				stats.SpeedupStr(stats.Speedup(par.Seconds, h.Seconds)))
 		}
 		t.AddNote("paper: speedup grows with locality, up to 2.4x; ~1x (CM-5 slightly below) at the lowest-locality point")
 		t.Render(os.Stdout)
@@ -202,8 +235,8 @@ func table5(scale string, seed int64) {
 			p := base
 			p.Spatial = spatial
 			inst := mdforce.Generate(p)
-			h := mdforce.Run(mdl, core.DefaultHybrid(), inst)
-			par := mdforce.Run(mdl, core.ParallelOnly(), inst)
+			h := mdforce.Run(mdl, cfgHybrid(), inst)
+			par := mdforce.Run(mdl, cfgParallel(), inst)
 			name := "random"
 			if spatial {
 				name = "spatial (ORB)"
@@ -211,7 +244,7 @@ func table5(scale string, seed int64) {
 			t.AddRow(name, fmt.Sprintf("%d", h.PairCount),
 				fmt.Sprintf("%.3f", h.LocalFraction),
 				stats.Seconds(par.Seconds), stats.Seconds(h.Seconds),
-				fmt.Sprintf("%.2f", par.Seconds/h.Seconds))
+				stats.SpeedupStr(stats.Speedup(par.Seconds, h.Seconds)))
 		}
 		t.AddNote("paper: random 1.03x; spatial 1.43x (CM-5) / 1.52x (T3D)")
 		t.Render(os.Stdout)
@@ -262,7 +295,7 @@ func table7(scale string, seed int64) {
 			cfg := core.DefaultHybrid()
 			cfg.Migration = v.policy
 			cfg.MigrationPeriod = v.period
-			r := migapp.Run(mdl, cfg, inst, base.Iters, v.assign)
+			r := migapp.Run(mdl, adorned(cfg), inst, base.Iters, v.assign)
 			if err := mdforce.MaxRelError(r.Forces, native); err > 1e-9 {
 				fmt.Fprintf(os.Stderr, "table7: %s on %s: force error %g\n", v.name, mdl.Name, err)
 				os.Exit(1)
@@ -276,7 +309,7 @@ func table7(scale string, seed int64) {
 				fmt.Sprintf("%d", r.Stats.MigratesOut),
 				fmt.Sprintf("%d", r.Stats.ForwardHops),
 				stats.Seconds(r.Seconds),
-				fmt.Sprintf("%.2f", randSec/r.Seconds))
+				stats.SpeedupStr(stats.Speedup(randSec, r.Seconds)))
 		}
 		t.AddNote("objects start on the random placement; the adaptive policies relocate cells toward their dominant requesters mid-run")
 		t.Render(os.Stdout)
@@ -292,6 +325,7 @@ func table7(scale string, seed int64) {
 // a lossy run exceeding 3x its kernel's fault-free time is fatal.
 func table8(scale string, seed int64) {
 	p := chaos.DefaultParams(seed)
+	p.Adorn = adorn
 	switch scale {
 	case "small":
 		p.Sor.G, p.Sor.Iters = 24, 3
@@ -322,7 +356,7 @@ func table8(scale string, seed int64) {
 				fmt.Sprintf("%d", r.Stats.DupSuppressed),
 				fmt.Sprintf("%d", r.Stats.AcksSent),
 				stats.Seconds(r.Seconds),
-				fmt.Sprintf("%.2f", r.Seconds/base.Seconds))
+				stats.SpeedupStr(stats.Speedup(r.Seconds, base.Seconds)))
 		}
 		addRow("plain", base)
 		for _, loss := range losses {
@@ -386,8 +420,8 @@ func table6(scale string, seed int64) {
 					p.RandomPlacement = random
 					g := em3d.Generate(p)
 					c := &cell{
-						h:   em3d.Run(mc.mdl, core.DefaultHybrid(), v, g),
-						par: em3d.Run(mc.mdl, core.ParallelOnly(), v, g),
+						h:   em3d.Run(mc.mdl, cfgHybrid(), v, g),
+						par: em3d.Run(mc.mdl, cfgParallel(), v, g),
 					}
 					mu.Lock()
 					cells[key{v, random}] = c
@@ -406,11 +440,85 @@ func table6(scale string, seed int64) {
 				t.AddRow(v.String(), loc,
 					fmt.Sprintf("%.3f", c.h.LocalFraction),
 					stats.Seconds(c.par.Seconds), stats.Seconds(c.h.Seconds),
-					fmt.Sprintf("%.2f", c.par.Seconds/c.h.Seconds))
+					stats.SpeedupStr(stats.Speedup(c.par.Seconds, c.h.Seconds)))
 			}
 		}
 		t.AddNote("paper: speedups ~1x to ~4x; pull best absolute; forward beats push at low locality on the T3D only")
 		t.Render(os.Stdout)
 		fmt.Println()
+	}
+}
+
+// profileSection runs one representative configuration of each kernel with
+// the observability layer installed and prints its cycle-attribution table
+// and critical-path breakdown. traceOut, if non-empty, additionally exports
+// the profiled SOR run as Chrome trace_event JSON.
+func profileSection(scale string, seed int64, traceOut string) {
+	mdl := machine.CM5()
+	secs := func(v int64) float64 { return mdl.Seconds(instr.Instr(v)) }
+	profiled := func(title string, run func(core.Config)) *obsv.Metrics {
+		m := obsv.New()
+		cfg := core.DefaultHybrid()
+		m.Install(&cfg)
+		run(cfg)
+		if err := m.CheckAttribution(); err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %s: %v\n", title, err)
+			os.Exit(1)
+		}
+		m.WriteReport(os.Stdout, "cycle attribution — "+title, secs)
+		fmt.Println()
+		return m
+	}
+
+	sp := sor.Params{G: 64, P: 8, B: 4, Iters: 4}
+	if scale == "small" {
+		sp = sor.Params{G: 32, P: 4, B: 4, Iters: 3}
+	}
+	sorM := profiled(fmt.Sprintf("SOR %dx%d hybrid, %d-node %s", sp.G, sp.G, sp.P*sp.P, mdl.Name),
+		func(cfg core.Config) { sor.Run(mdl, cfg, sp) })
+
+	ep := em3d.Params{N: 512, Degree: 8, Iters: 3, Nodes: 16, PLocal: 0.99, Seed: seed}
+	if scale == "small" {
+		ep.N, ep.Nodes = 256, 8
+	}
+	profiled(fmt.Sprintf("EM3D %d nodes deg %d pull hybrid, %d-node %s", ep.N, ep.Degree, ep.Nodes, mdl.Name),
+		func(cfg core.Config) { em3d.Run(mdl, cfg, em3d.Pull, em3d.Generate(ep)) })
+
+	mp := mdforce.DefaultParams()
+	mp.Seed = seed
+	mp.Atoms, mp.Clusters, mp.Box, mp.Nodes = 1500, 32, 48, 16
+	if scale == "small" {
+		mp.Atoms, mp.Clusters, mp.Box, mp.Nodes = 600, 27, 18, 8
+	}
+	mp.Spatial = true
+	mdInst := mdforce.Generate(mp)
+	profiled(fmt.Sprintf("MD-Force %d atoms spatial hybrid, %d-node %s", mp.Atoms, mp.Nodes, mdl.Name),
+		func(cfg core.Config) { mdforce.Run(mdl, cfg, mdInst) })
+
+	gp := migapp.DefaultParams()
+	gp.MD.Seed = seed
+	gp.MD.Atoms, gp.MD.Clusters, gp.MD.Box, gp.MD.Nodes = 1200, 27, 18, 8
+	gp.Iters = 3
+	migInst := mdforce.Generate(gp.MD)
+	assign := migapp.CellAssignment(migInst, false)
+	profiled(fmt.Sprintf("MD-migrate adaptive %d atoms, %d-node %s", gp.MD.Atoms, gp.MD.Nodes, mdl.Name),
+		func(cfg core.Config) {
+			cfg.Migration = policy.DefaultThreshold()
+			migapp.Run(mdl, cfg, migInst, gp.Iters, assign)
+		})
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err == nil {
+			err = sorM.WritePerfetto(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile: trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: SOR run -> %s (open in ui.perfetto.dev)\n", traceOut)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"repro/internal/instr"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/obsv"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -253,6 +254,18 @@ type Trace = trace.Buffer
 // NewTrace creates a trace buffer retaining up to capacity events
 // (capacity <= 0 selects a default).
 func NewTrace(capacity int) *Trace { return trace.NewBuffer(capacity) }
+
+// Metrics is the observability layer over a run: per-method cycle
+// attribution that sums exactly to the node clocks, a critical-path
+// profiler, and a Perfetto/Chrome trace_event exporter. Create one with
+// NewMetrics, wire it with Metrics.Install(&cfg) before building the
+// system, and after the run render m.WriteReport or m.WritePerfetto.
+// Observation is passive: the simulated results are identical with
+// metrics on or off.
+type Metrics = obsv.Metrics
+
+// NewMetrics creates an empty observability registry for one run.
+func NewMetrics() *Metrics { return obsv.New() }
 
 // Counters returns machine-wide instruction counters by category.
 func (s *System) Counters() instr.Counters { return s.Eng.TotalCounters() }

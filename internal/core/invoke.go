@@ -63,6 +63,7 @@ func (rt *RT) Invoke(fr *Frame, m *Method, target Ref, slot int, args ...Word) C
 			cf := rt.newHeapFrame(n, m, target, args, Cont{Fr: fr, Slot: slot, Node: int32(n.ID)})
 			obj.waiters.push(cf)
 			n.Stats.LockBlocks++
+			rt.traceEvent(n, uint8(trace.KLockBlock), m, 0)
 			if fr.Mode == StackMode {
 				return NeedUnwind
 			}
@@ -99,7 +100,10 @@ func (rt *RT) stackCall(n *NodeRT, fr *Frame, m *Method, obj *Object, target Ref
 		cf.lockObj = obj
 	}
 	n.stackDepth++
+	prevM := n.curM
+	n.curM = m
 	st := m.seq()(rt, cf)
+	n.curM = prevM
 	n.stackDepth--
 
 	switch st {
@@ -302,6 +306,7 @@ func (rt *RT) ForwardTail(fr *Frame, m *Method, target Ref, args ...Word) Status
 			cf := rt.newHeapFrame(n, m, target, args, cont)
 			obj.waiters.push(cf)
 			n.Stats.LockBlocks++
+			rt.traceEvent(n, uint8(trace.KLockBlock), m, 0)
 			return Forwarded
 		}
 		// Local forward: pass return_val_ptr and caller_info along on the
@@ -320,7 +325,10 @@ func (rt *RT) ForwardTail(fr *Frame, m *Method, target Ref, args ...Word) Status
 			cf.lockObj = obj
 		}
 		n.stackDepth++
+		prevM := n.curM
+		n.curM = m
 		st := m.seq()(rt, cf)
+		n.curM = prevM
 		n.stackDepth--
 		switch st {
 		case Done:

@@ -47,6 +47,16 @@ type Msg struct {
 	loc int32
 	ver int32
 
+	// wireFrom/wireSeq/wireWords identify the message's latest physical
+	// transmission for trace correlation: the sending node, its per-link
+	// sequence number, and the modeled payload words. Stamped by rt.send
+	// (re-stamped when a forwarding stub re-sends), consumed by the
+	// delivery-side KMsgRecv event. Tracing-only: the protocol never reads
+	// them.
+	wireFrom  int32
+	wireSeq   uint32
+	wireWords int32
+
 	next *Msg
 }
 
@@ -107,7 +117,6 @@ func (rt *RT) sendRequest(from *NodeRT, m *Method, target Ref, args []Word, cont
 		panic(fmt.Sprintf("core: oversized message for %s: %d words (limit %d)", m.Name, w, max))
 	}
 	from.charge(instr.OpMsg, rt.Model.MsgSendBase+rt.Model.MsgPerWord*instr.Instr(w))
-	rt.traceEvent(from, uint8(trace.KMsgSend), m, int64(w))
 	to := rt.Nodes[dest]
 	lat := rt.Model.NetLatency + rt.Model.NetPerWord*instr.Instr(w)
 	rt.send(from, to, msg, w, lat)
@@ -126,7 +135,6 @@ func (rt *RT) sendReply(from *NodeRT, cont Cont, val Word) {
 	msg := &Msg{kind: msgReply, cont: cont, val: val, from: int32(from.ID)}
 	from.charge(instr.OpMsg, rt.Model.ReplySend)
 	from.Stats.Replies++
-	rt.traceEvent(from, uint8(trace.KMsgSend), nil, int64(msg.words()))
 	to := rt.Nodes[cont.Node]
 	rt.send(from, to, msg, msg.words(), rt.Model.ReplyLatency)
 }
@@ -172,7 +180,6 @@ func (rt *RT) handleMsg(n *NodeRT, msg *Msg) {
 	}
 	obj := e
 	n.charge(instr.OpMsg, mdl.MsgRecvBase+mdl.MsgPerWord*instr.Instr(msg.words()))
-	rt.traceEvent(n, uint8(trace.KMsgRecv), m, int64(msg.words()))
 	rt.noteAccess(n, obj, int(msg.from), false)
 
 	if rt.Cfg.Hybrid && rt.Cfg.Wrappers {
@@ -214,6 +221,7 @@ func (rt *RT) runWrapper(n *NodeRT, m *Method, obj *Object, msg *Msg) {
 			cf := rt.newHeapFrame(n, m, msg.target, msg.args, msg.cont)
 			obj.waiters.push(cf)
 			n.Stats.LockBlocks++
+			rt.traceEvent(n, uint8(trace.KLockBlock), m, 0)
 			return
 		}
 	}
@@ -232,7 +240,10 @@ func (rt *RT) runWrapper(n *NodeRT, m *Method, obj *Object, msg *Msg) {
 		cf.lockObj = obj
 	}
 	n.stackDepth++
+	prevM := n.curM
+	n.curM = m
 	st := m.seq()(rt, cf)
+	n.curM = prevM
 	n.stackDepth--
 	switch st {
 	case Done:

@@ -36,6 +36,16 @@ type NodeRT struct {
 	// stackDepth tracks current speculative-inlining depth.
 	stackDepth int
 
+	// curM is the method whose body is currently executing on this node
+	// (nil between activations). Maintained only so the metrics observer
+	// can attribute clock charges to methods; never consulted by the
+	// execution model itself.
+	curM *Method
+
+	// msgSeq numbers this node's outgoing messages per destination (for
+	// trace-level send/receive correlation); allocated on first send.
+	msgSeq []uint32
+
 	// Reliable-delivery link state, indexed by peer node; entries are
 	// created on first use and both slices stay nil unless Config.Reliable
 	// is set (see reliable.go).

@@ -136,8 +136,21 @@ func (n *NodeRT) inLink(src int) *recvLink {
 // reliable mode frames it with a sequence number and takes responsibility
 // for redelivery until acked.
 func (rt *RT) send(from, to *NodeRT, msg *Msg, w int, lat instr.Instr) {
+	if rt.Cfg.Tracer != nil {
+		// The one KMsgSend per transmission, stamped with (destination,
+		// per-link seq, words) so the delivery-side KMsgRecv can be matched
+		// exactly even under reordering. Forwarded requests re-enter here
+		// and get a fresh hop.
+		if from.msgSeq == nil {
+			from.msgSeq = make([]uint32, len(rt.Nodes))
+		}
+		from.msgSeq[to.ID]++
+		msg.wireFrom, msg.wireSeq, msg.wireWords = int32(from.ID), from.msgSeq[to.ID], int32(w)
+		rt.traceEvent(from, uint8(trace.KMsgSend), msg.method,
+			trace.PackMsg(to.ID, msg.wireSeq, w))
+	}
 	if !rt.reliable() {
-		rt.Eng.Send(from.Sim, to.Sim, lat, w, func() { to.inbox.push(msg) })
+		rt.Eng.Send(from.Sim, to.Sim, lat, w, func() { rt.deliverInbox(to, msg) })
 		return
 	}
 	l := from.outLink(to.ID)
@@ -239,7 +252,7 @@ func (rt *RT) recvFrame(n *NodeRT, from int, seq uint64, msg *Msg) {
 		// looked at the header, and re-ack so the sender stops resending.
 		n.charge(instr.OpMsg, rt.Model.MsgRecvBase)
 		n.Stats.DupSuppressed++
-		rt.traceEvent(n, uint8(trace.KDup), msg.method, -1)
+		rt.traceEvent(n, uint8(trace.KDupSuppressed), msg.method, int64(msg.wireWords))
 		rt.scheduleAck(n, l)
 		return
 	}
@@ -251,9 +264,26 @@ func (rt *RT) recvFrame(n *NodeRT, from int, seq uint64, msg *Msg) {
 		}
 		delete(l.buf, l.cursor+1)
 		l.cursor++
-		n.inbox.push(next)
+		rt.deliverInbox(n, next)
 	}
 	rt.scheduleAck(n, l)
+}
+
+// deliverInbox hands one message to the destination node's inbox, emitting
+// the delivery-side KMsgRecv. The event is stamped at the later of the
+// node's clock and the engine's event time: the effective arrival — when
+// the node could first act on the message — not the possibly-stale clock
+// of a waiting node or the possibly-earlier wire time of a busy one.
+func (rt *RT) deliverInbox(n *NodeRT, msg *Msg) {
+	n.inbox.push(msg)
+	if rt.Cfg.Tracer != nil {
+		at := n.Sim.Clock
+		if now := rt.Eng.Now(); now > at {
+			at = now
+		}
+		rt.traceEventAt(n, at, uint8(trace.KMsgRecv), msg.method,
+			trace.PackMsg(int(msg.wireFrom), msg.wireSeq, int(msg.wireWords)))
+	}
 }
 
 // scheduleAck arranges one cumulative ack covering everything delivered so
@@ -321,7 +351,7 @@ func (rt *RT) installFaults() {
 			n.Stats.DropsSeen++
 			rt.traceEvent(n, uint8(trace.KDrop), nil, int64(words))
 		case sim.FaultDup:
-			rt.traceEvent(n, uint8(trace.KDup), nil, int64(words))
+			rt.traceEvent(n, uint8(trace.KDupWire), nil, int64(words))
 		case sim.FaultJitter:
 			// Reordering needs no recovery; it is visible as out-of-order
 			// buffering at the receiver, so it is not traced separately.

@@ -195,7 +195,7 @@ func traceChurn(t *testing.T, faults *sim.Faults) ([]trace.Event, sim.Time) {
 	if buf.Dropped != 0 {
 		t.Fatalf("trace overflowed (%d dropped): grow the buffer", buf.Dropped)
 	}
-	return buf.Events(), rt.Eng.MaxClock()
+	return buf.AppendTo(make([]trace.Event, 0, buf.Len())), rt.Eng.MaxClock()
 }
 
 // TestDeterministicReplay is the reproducibility regression: the same seed

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/instr"
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
@@ -42,7 +43,26 @@ func NewRT(eng *sim.Engine, mdl *machine.Model, prog *Program, cfg Config) *RT {
 	}
 	eng.SetRunner(rt)
 	rt.installFaults()
+	rt.installMetrics()
 	return rt
+}
+
+// installMetrics wires the configured metrics sink into the engine's charge
+// observer, attaching the name of the method body executing on the charged
+// node. Every clock advance — including idle — is reported, so per node the
+// attributed costs sum exactly to the final clock.
+func (rt *RT) installMetrics() {
+	ms := rt.Cfg.Metrics
+	if ms == nil {
+		return
+	}
+	rt.Eng.SetChargeObserver(func(node int, op instr.Op, start, cost sim.Time) {
+		name := ""
+		if m := rt.Nodes[node].curM; m != nil {
+			name = m.Name
+		}
+		ms.ObserveCharge(node, start, name, uint8(op), int64(cost))
+	})
 }
 
 // Node returns the runtime state of node i.
@@ -114,8 +134,16 @@ func (rt *RT) CheckQuiescence() error {
 	return rt.checkLinksQuiescent()
 }
 
-// traceEvent reports one event to the configured tracer, if any.
+// traceEvent reports one event to the configured tracer, if any, stamped
+// with the node's current clock.
 func (rt *RT) traceEvent(n *NodeRT, kind uint8, m *Method, aux int64) {
+	rt.traceEventAt(n, n.Sim.Clock, kind, m, aux)
+}
+
+// traceEventAt is traceEvent with an explicit timestamp; delivery-side
+// events use it because a message lands at the network's event time, which
+// the destination's clock need not have reached yet.
+func (rt *RT) traceEventAt(n *NodeRT, at sim.Time, kind uint8, m *Method, aux int64) {
 	if rt.Cfg.Tracer == nil {
 		return
 	}
@@ -123,7 +151,7 @@ func (rt *RT) traceEvent(n *NodeRT, kind uint8, m *Method, aux int64) {
 	if m != nil {
 		name = m.Name
 	}
-	rt.Cfg.Tracer.Record(n.ID, n.Sim.Clock, kind, name, aux)
+	rt.Cfg.Tracer.Record(n.ID, at, kind, name, aux)
 }
 
 // TotalStats aggregates the per-node execution statistics.

@@ -22,12 +22,16 @@ func (rt *RT) runContext(n *NodeRT, fr *Frame) {
 		if !obj.tryLock() {
 			obj.waiters.push(fr)
 			n.Stats.LockBlocks++
+			rt.traceEvent(n, uint8(trace.KLockBlock), m, 0)
 			return
 		}
 		fr.lockObj = obj
 	}
 	n.charge(instr.OpCall, rt.Model.CCall)
+	prevM := n.curM
+	n.curM = m
 	st := m.Body(rt, fr)
+	n.curM = prevM
 	switch st {
 	case Done:
 		rt.complete(n, fr)

@@ -111,6 +111,14 @@ type Config struct {
 	// Tracer, if non-nil, receives every execution-model event (see
 	// internal/trace for the standard buffer implementation).
 	Tracer Tracer
+	// Metrics, if non-nil, observes every virtual-clock advance on every
+	// node — including idle time — with the currently-executing method
+	// attached (see internal/obsv for the standard implementation, which
+	// also implements Tracer). The per-node observed costs sum exactly to
+	// that node's final clock. Observation adds no virtual charges: with
+	// Metrics (and Tracer) nil or not, a run's simulated results are
+	// identical.
+	Metrics MetricsSink
 
 	// Migration, if non-nil, enables dynamic object migration: the policy
 	// is consulted on every invocation reaching an owner and may relocate
@@ -153,6 +161,19 @@ type Config struct {
 // must be cheap; the runtime calls Record on its hot paths.
 type Tracer interface {
 	Record(node int, at Instr, kind uint8, method string, aux int64)
+}
+
+// MetricsSink receives cycle-cost attribution from the runtime: one call
+// per virtual-clock advance, with the clock value before the advance
+// (start), the name of the method body executing on that node ("" between
+// activations — dispatch, messaging and idle time), the instr.Op accounting
+// category, and the cost actually applied (after any brown-out slow-down).
+// Per node, the observed charges are contiguous — each call's start equals
+// the previous call's start+cost — so their sum is exactly the node's final
+// virtual clock. Implementations must be cheap and must not re-enter the
+// runtime.
+type MetricsSink interface {
+	ObserveCharge(node int, start Instr, method string, op uint8, cost int64)
 }
 
 // DefaultHybrid is the full hybrid model with all three interfaces.

@@ -1,0 +1,145 @@
+// Critical-path profiling: walk backward from the run's completion through
+// busy intervals and matched message send/receive pairs, and partition the
+// whole span into compute, network flight, and wait categories.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PathReport is the longest dependency chain of a completed run: the one
+// sequence of activations and messages whose durations sum to the parallel
+// completion time. Total == Compute + Network + FutureWait + LockWait +
+// Idle, exactly — the walker partitions every cycle of the critical span.
+type PathReport struct {
+	Total      int64 // the span walked: the maximum node clock
+	Compute    int64 // busy execution on the path
+	Network    int64 // message flight (send to effective arrival)
+	FutureWait int64 // resume delay after a reply arrived (blocked on futures)
+	LockWait   int64 // quiet gaps entered by parking on an object lock
+	Idle       int64 // quiet gaps with no blocking cause (out of work)
+	Hops       int   // network hops on the path
+	Steps      int   // path segments walked
+	ByMethod   map[string]int64 // compute cycles on the path, per method ("" = runtime)
+	// Incomplete is set when the walk could not follow an edge (a detail
+	// log was truncated, or an arrival had no matching send); the
+	// unexplained remainder is counted under Idle so the partition still
+	// holds.
+	Incomplete bool
+}
+
+// CriticalPath walks the longest dependency chain. It needs the detailed
+// logs; with Truncated() the result is flagged Incomplete.
+func (m *Metrics) CriticalPath() PathReport {
+	r := PathReport{ByMethod: map[string]int64{}}
+	if len(m.nodes) == 0 {
+		return r
+	}
+	node := 0
+	for id, np := range m.nodes {
+		if np.total > m.nodes[node].total {
+			node = id
+		}
+	}
+	t := m.nodes[node].total
+	r.Total = t
+	if m.truncated {
+		r.Incomplete = true
+		r.Idle = t
+		return r
+	}
+
+	for t > 0 {
+		r.Steps++
+		np := m.nodes[node]
+		// Latest interval starting strictly before t.
+		i := sort.Search(len(np.intervals), func(k int) bool { return np.intervals[k].start >= t }) - 1
+		if i >= 0 && np.intervals[i].end >= t {
+			// Busy at t: consume the interval portion below t.
+			iv := np.intervals[i]
+			r.Compute += t - iv.start
+			r.ByMethod[iv.method] += t - iv.start
+			t = iv.start
+			continue
+		}
+		// Quiet gap below t. pe is the end of the preceding busy interval.
+		var pe int64
+		if i >= 0 {
+			pe = np.intervals[i].end
+		}
+		// The latest delivery at or before t that falls inside the gap is
+		// what ended the wait; follow the message back to its sender.
+		if a := latestArrival(np.arrivals, t); a != nil && a.at >= pe {
+			wait := t - a.at
+			if a.reply {
+				r.FutureWait += wait
+			} else {
+				r.Idle += wait
+			}
+			if sendAt, ok := m.sends[sendKey(a.from, int32(node), a.seq)]; ok && sendAt < a.at {
+				r.Network += a.at - sendAt
+				r.Hops++
+				t = sendAt
+				node = int(a.from)
+				continue
+			}
+			// No usable matching send: charge the rest to Idle and stop.
+			r.Incomplete = true
+			r.Idle += a.at
+			return r
+		}
+		// No delivery explains the gap. If the node's last act before going
+		// quiet included parking an invocation on a lock, the gap is lock
+		// wait; otherwise it was simply out of work.
+		if i >= 0 && hasLockBlockIn(np.lockBlocks, np.intervals[i].start, pe) {
+			r.LockWait += t - pe
+		} else {
+			r.Idle += t - pe
+		}
+		t = pe
+		if i < 0 {
+			return r // reached clock zero through a leading gap
+		}
+	}
+	return r
+}
+
+// latestArrival returns the latest arrival with at <= t (nil if none).
+func latestArrival(as []arrival, t int64) *arrival {
+	i := sort.Search(len(as), func(k int) bool { return as[k].at > t }) - 1
+	if i < 0 {
+		return nil
+	}
+	return &as[i]
+}
+
+// hasLockBlockIn reports whether a lock-park was recorded in [lo, hi].
+func hasLockBlockIn(ts []int64, lo, hi int64) bool {
+	i := sort.Search(len(ts), func(k int) bool { return ts[k] >= lo })
+	return i < len(ts) && ts[i] <= hi
+}
+
+// WritePath renders the partition as a short report.
+func (r PathReport) WritePath(w io.Writer, seconds func(int64) float64) {
+	fmt.Fprintf(w, "critical path: %d instr over %d segments, %d network hops\n", r.Total, r.Steps, r.Hops)
+	if r.Incomplete {
+		fmt.Fprintln(w, "  (incomplete: detail log truncated or an edge was unmatched)")
+	}
+	part := func(name string, v int64) {
+		if r.Total == 0 {
+			return
+		}
+		fmt.Fprintf(w, "  %-12s %12d  (%5.1f%%", name, v, 100*float64(v)/float64(r.Total))
+		if seconds != nil {
+			fmt.Fprintf(w, ", %.6fs", seconds(v))
+		}
+		fmt.Fprintln(w, ")")
+	}
+	part("compute", r.Compute)
+	part("network", r.Network)
+	part("future wait", r.FutureWait)
+	part("lock wait", r.LockWait)
+	part("idle", r.Idle)
+}

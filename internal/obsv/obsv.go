@@ -1,0 +1,380 @@
+// Package obsv is the observability layer over a simulated run: a metrics
+// registry fed by the runtime's tracer and charge-observer hooks, a
+// critical-path profiler over the completed trace, and a Perfetto/Chrome
+// trace_event exporter.
+//
+// The paper's whole argument is an accounting argument — Table 2 attributes
+// cycles to calling schemas, and §4 explains every kernel result by where
+// invocations fell back, suspended, or crossed the network. This package
+// surfaces that accounting for any run: install a Metrics as both
+// Config.Tracer and Config.Metrics (Install does both), run, then render
+// the attribution table, walk the critical path, or export the run for
+// ui.perfetto.dev.
+//
+// Observation is passive: neither hook adds virtual charges, so a run's
+// simulated results are bit-identical with observability on or off (the
+// cmd/tables golden test enforces this). The attribution is exact: per
+// node, the observed charges are contiguous and sum to the node's final
+// virtual clock (CheckAttribution verifies both properties).
+package obsv
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/instr"
+	"repro/internal/trace"
+)
+
+// Default retention caps. Aggregates (counters, cycle attribution,
+// histograms) are always exact; only the detailed logs that feed the
+// critical-path walker and the Perfetto exporter are bounded.
+const (
+	defaultMaxIntervals = 1 << 21
+	defaultMaxInstants  = 1 << 17
+)
+
+// Metrics aggregates one run. It implements both core.Tracer (counters,
+// message correlation, suspend pairing, instant events) and
+// core.MetricsSink (cycle attribution, busy intervals). Not safe for
+// concurrent use: give every run its own instance.
+type Metrics struct {
+	// MaxIntervals / MaxInstants bound the detailed logs (<=0 selects the
+	// defaults). When a cap is hit Truncated() reports true, further
+	// detail is dropped, and the critical path is unavailable — the
+	// aggregate tables remain exact.
+	MaxIntervals int
+	MaxInstants  int
+
+	nodes     []*nodeProfile
+	methods   map[string]*MethodProfile
+	order     []string         // method insertion order (deterministic reports)
+	sends     map[uint64]int64 // (from,to,seq) -> send time
+	instants  []Instant
+	intervals int // retained busy intervals across all nodes
+	truncated bool
+	kinds     [trace.NumKinds]int64
+	msgWords  Hist
+	suspend   Hist
+	err       error // first attribution-contiguity violation
+}
+
+// nodeProfile is the per-node side of the registry.
+type nodeProfile struct {
+	total      int64 // attributed cycles; equals the final clock
+	end        int64 // end of the last observed charge (contiguity cursor)
+	ops        [instr.NumOps]int64
+	intervals  []interval // non-idle execution, coalesced, time-ordered
+	arrivals   []arrival  // message deliveries, time-ordered
+	lockBlocks []int64    // KLockBlock times, time-ordered
+	pending    map[string][]int64 // open suspends per method (FIFO)
+}
+
+// interval is a maximal run of contiguous same-method busy charges.
+type interval struct {
+	start, end int64
+	method     string
+}
+
+// arrival is one delivery-side message event.
+type arrival struct {
+	at    int64
+	from  int32
+	seq   uint32
+	words int32
+	reply bool
+}
+
+// Instant is a point event worth showing on a timeline (drop, retransmit,
+// migration, hop-limit, stall...).
+type Instant struct {
+	At     int64
+	Node   int32
+	Kind   trace.Kind
+	Method string
+	Aux    int64
+}
+
+// MethodProfile is the per-method aggregate.
+type MethodProfile struct {
+	Name   string
+	Cycles int64 // attributed body cycles
+	ByOp   [instr.NumOps]int64
+
+	Invokes, StackCalls, Fallbacks, CtxAllocs int64
+	Suspends, Wakes, Wrappers, LockBlocks     int64
+
+	SuspendSum   int64 // total suspend->wake virtual time
+	SuspendPairs int64
+}
+
+// New creates an empty registry.
+func New() *Metrics {
+	return &Metrics{
+		methods: map[string]*MethodProfile{},
+		sends:   map[uint64]int64{},
+	}
+}
+
+// Install wires m into cfg as both the tracer and the metrics sink. Any
+// previously configured tracer is replaced.
+func (m *Metrics) Install(cfg *core.Config) {
+	cfg.Tracer = m
+	cfg.Metrics = m
+}
+
+func (m *Metrics) node(id int) *nodeProfile {
+	for len(m.nodes) <= id {
+		m.nodes = append(m.nodes, &nodeProfile{pending: map[string][]int64{}})
+	}
+	return m.nodes[id]
+}
+
+func (m *Metrics) method(name string) *MethodProfile {
+	mp := m.methods[name]
+	if mp == nil {
+		mp = &MethodProfile{Name: name}
+		m.methods[name] = mp
+		m.order = append(m.order, name)
+	}
+	return mp
+}
+
+func (m *Metrics) maxIntervals() int {
+	if m.MaxIntervals > 0 {
+		return m.MaxIntervals
+	}
+	return defaultMaxIntervals
+}
+
+func (m *Metrics) maxInstants() int {
+	if m.MaxInstants > 0 {
+		return m.MaxInstants
+	}
+	return defaultMaxInstants
+}
+
+// sendKey packs a directed link and sequence number.
+func sendKey(from, to int32, seq uint32) uint64 {
+	return uint64(uint16(from))<<40 | uint64(uint16(to))<<24 | uint64(seq&0xFFFFFF)
+}
+
+// ObserveCharge implements core.MetricsSink: one call per clock advance.
+func (m *Metrics) ObserveCharge(node int, start instr.Instr, method string, op uint8, cost int64) {
+	np := m.node(node)
+	s := int64(start)
+	if np.end != s && m.err == nil {
+		m.err = fmt.Errorf("obsv: node %d charge at %d is not contiguous with previous end %d",
+			node, s, np.end)
+	}
+	np.end = s + cost
+	np.total += cost
+	if instr.Op(op) < instr.NumOps {
+		np.ops[op] += cost
+		if method != "" {
+			m.method(method).ByOp[op] += cost
+		}
+	}
+	if method != "" {
+		m.method(method).Cycles += cost
+	}
+	if instr.Op(op) == instr.OpIdle {
+		return
+	}
+	// Busy interval, coalesced with the previous one when contiguous and
+	// same-method (heap bodies re-enter the runtime between charges, so
+	// coalescing keeps the log roughly one entry per activation segment).
+	if n := len(np.intervals); n > 0 {
+		last := &np.intervals[n-1]
+		if last.end == s && last.method == method {
+			last.end = s + cost
+			return
+		}
+	}
+	if m.intervals >= m.maxIntervals() {
+		m.truncated = true
+		return
+	}
+	np.intervals = append(np.intervals, interval{start: s, end: s + cost, method: method})
+	m.intervals++
+}
+
+// Record implements core.Tracer.
+func (m *Metrics) Record(node int, at instr.Instr, kind uint8, method string, aux int64) {
+	k := trace.Kind(kind)
+	if k < trace.NumKinds {
+		m.kinds[k]++
+	}
+	np := m.node(node)
+	t := int64(at)
+	switch k {
+	case trace.KInvoke:
+		m.method(method).Invokes++
+	case trace.KStackCall:
+		m.method(method).StackCalls++
+	case trace.KFallback:
+		m.method(method).Fallbacks++
+	case trace.KCtxAlloc:
+		m.method(method).CtxAllocs++
+	case trace.KWrapper:
+		m.method(method).Wrappers++
+	case trace.KLockBlock:
+		m.method(method).LockBlocks++
+		np.lockBlocks = append(np.lockBlocks, t)
+	case trace.KSuspend:
+		m.method(method).Suspends++
+		np.pending[method] = append(np.pending[method], t)
+	case trace.KWake:
+		mp := m.method(method)
+		mp.Wakes++
+		if q := np.pending[method]; len(q) > 0 {
+			d := t - q[0]
+			np.pending[method] = q[1:]
+			mp.SuspendSum += d
+			mp.SuspendPairs++
+			m.suspend.Add(d)
+		}
+	case trace.KMsgSend:
+		peer, seq, words := trace.UnpackMsg(aux)
+		m.sends[sendKey(int32(node), int32(peer), seq)] = t
+		m.msgWords.Add(int64(words))
+	case trace.KMsgRecv:
+		peer, seq, words := trace.UnpackMsg(aux)
+		np.arrivals = append(np.arrivals, arrival{
+			at: t, from: int32(peer), seq: seq, words: int32(words), reply: method == ""})
+	case trace.KDrop, trace.KDupWire, trace.KDupSuppressed, trace.KRetransmit,
+		trace.KStall, trace.KMigrateStart, trace.KMigrateArrive, trace.KForwardHop,
+		trace.KHopLimit:
+		if len(m.instants) >= m.maxInstants() {
+			m.truncated = true
+			return
+		}
+		m.instants = append(m.instants, Instant{At: t, Node: int32(node), Kind: k, Method: method, Aux: aux})
+	}
+}
+
+// Count returns the total occurrences of a trace kind.
+func (m *Metrics) Count(k trace.Kind) int64 { return m.kinds[k] }
+
+// Truncated reports whether a detail log hit its cap; aggregates are still
+// exact, but the critical path and the exported trace are incomplete.
+func (m *Metrics) Truncated() bool { return m.truncated }
+
+// NumNodes returns the number of nodes observed.
+func (m *Metrics) NumNodes() int { return len(m.nodes) }
+
+// NodeTotal returns node's attributed cycles — its final virtual clock.
+func (m *Metrics) NodeTotal(node int) int64 {
+	if node < len(m.nodes) {
+		return m.nodes[node].total
+	}
+	return 0
+}
+
+// NodeOp returns node's attributed cycles under one accounting category.
+func (m *Metrics) NodeOp(node int, op instr.Op) int64 {
+	if node < len(m.nodes) && op < instr.NumOps {
+		return m.nodes[node].ops[op]
+	}
+	return 0
+}
+
+// MaxClock returns the maximum attributed node clock — the parallel
+// completion time of the run.
+func (m *Metrics) MaxClock() int64 {
+	var max int64
+	for _, np := range m.nodes {
+		if np.total > max {
+			max = np.total
+		}
+	}
+	return max
+}
+
+// TotalAttributed returns the machine-wide attributed cycles (the sum of
+// all nodes' final clocks, idle included).
+func (m *Metrics) TotalAttributed() int64 {
+	var sum int64
+	for _, np := range m.nodes {
+		sum += np.total
+	}
+	return sum
+}
+
+// Methods returns the per-method profiles in first-seen order.
+func (m *Metrics) Methods() []*MethodProfile {
+	out := make([]*MethodProfile, 0, len(m.order))
+	for _, name := range m.order {
+		if name != "" {
+			out = append(out, m.methods[name])
+		}
+	}
+	return out
+}
+
+// MsgWordsHist returns the histogram of sent-message payload sizes.
+func (m *Metrics) MsgWordsHist() *Hist { return &m.msgWords }
+
+// SuspendHist returns the histogram of suspend->wake durations.
+func (m *Metrics) SuspendHist() *Hist { return &m.suspend }
+
+// CheckAttribution verifies the accounting invariant: on every node the
+// observed charges were contiguous from clock zero, so per-op attribution
+// sums to the node's final virtual clock exactly. A non-nil error means a
+// charge bypassed the observer — an accounting bug in the runtime.
+func (m *Metrics) CheckAttribution() error {
+	if m.err != nil {
+		return m.err
+	}
+	for id, np := range m.nodes {
+		if np.total != np.end {
+			return fmt.Errorf("obsv: node %d attributed %d cycles but clock cursor is %d", id, np.total, np.end)
+		}
+		var byOp int64
+		for _, c := range np.ops {
+			byOp += c
+		}
+		if byOp != np.total {
+			return fmt.Errorf("obsv: node %d per-op attribution %d != total %d", id, byOp, np.total)
+		}
+	}
+	return nil
+}
+
+// Hist is a power-of-two-bucket histogram of non-negative values.
+type Hist struct {
+	Buckets [64]int64 // Buckets[i] counts values with bit-length i (v=0 -> 0)
+	Count   int64
+	Sum     int64
+	Max     int64
+}
+
+// Add records v (negative values are clamped to zero).
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Buckets[bitLen(v)]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the average recorded value (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+func bitLen(v int64) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}

@@ -1,0 +1,73 @@
+// Perfetto/Chrome trace_event export: one track (tid) per simulated node,
+// complete slices for execution intervals, instant events for faults,
+// retransmissions and migrations. The produced JSON loads directly in
+// ui.perfetto.dev or chrome://tracing. One virtual instruction is exported
+// as one microsecond — times are virtual, so the unit is only a scale.
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// traceEv is one entry of the trace_event JSON array.
+type traceEv struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// perfettoFile is the top-level trace_event JSON object.
+type perfettoFile struct {
+	TraceEvents     []traceEv `json:"traceEvents"`
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+}
+
+// WritePerfetto exports the run in Chrome trace_event JSON format.
+func (m *Metrics) WritePerfetto(w io.Writer) error {
+	evs := make([]traceEv, 0, m.intervals+len(m.instants)+len(m.nodes))
+	for id := range m.nodes {
+		evs = append(evs, traceEv{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+			Args: map[string]any{"name": nodeLabel(id)},
+		})
+	}
+	for id, np := range m.nodes {
+		for _, iv := range np.intervals {
+			name := iv.method
+			if name == "" {
+				name = "(runtime)"
+			}
+			evs = append(evs, traceEv{
+				Name: name, Ph: "X", Ts: iv.start, Dur: iv.end - iv.start,
+				Pid: 1, Tid: id, Cat: "exec",
+			})
+		}
+	}
+	for _, in := range m.instants {
+		evs = append(evs, traceEv{
+			Name: in.Kind.String(), Ph: "i", Ts: in.At, Pid: 1, Tid: int(in.Node),
+			Cat: "event", Scope: "t",
+			Args: map[string]any{
+				"method": in.Method,
+				"aux":    in.Aux,
+				"aux?":   trace.AuxMeaning(in.Kind),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+func nodeLabel(id int) string {
+	return "node " + strconv.Itoa(id)
+}

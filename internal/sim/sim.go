@@ -70,6 +70,9 @@ type Engine struct {
 	faults     *faultState
 	faultStats FaultStats
 
+	// chargeObs, if set, observes every clock advance (see SetChargeObserver).
+	chargeObs ChargeObserver
+
 	// servicePending counts scheduled service events (periodic ticks that
 	// must not, by themselves, keep the simulation alive).
 	servicePending int
@@ -87,6 +90,18 @@ func NewEngine(n int) *Engine {
 // SetRunner installs the work source shared by all nodes. It must be set
 // before Run.
 func (e *Engine) SetRunner(r Runner) { e.runner = r }
+
+// ChargeObserver observes one virtual-clock advance on one node: the clock
+// value before the advance, the accounting category, and the cost applied
+// (post any brown-out multiplier). Every clock mutation — Charge and the
+// pump's idle accounting — is reported, so per node the observed costs are
+// contiguous and sum exactly to the final clock. Observers must not charge
+// or schedule; they exist so an observability layer can attribute cycles
+// without perturbing the simulation.
+type ChargeObserver func(node int, op instr.Op, start Time, cost Time)
+
+// SetChargeObserver installs obs (nil removes it). Install before Run.
+func (e *Engine) SetChargeObserver(obs ChargeObserver) { e.chargeObs = obs }
 
 // Nodes returns the simulated nodes.
 func (e *Engine) Nodes() []*Node { return e.nodes }
@@ -179,6 +194,9 @@ func (e *Engine) pump(n *Node) {
 		return
 	}
 	if n.Clock < e.now {
+		if e.chargeObs != nil {
+			e.chargeObs(n.ID, instr.OpIdle, n.Clock, e.now-n.Clock)
+		}
 		n.Counters.Add(instr.OpIdle, e.now-n.Clock)
 		n.Clock = e.now
 	}
@@ -323,6 +341,9 @@ func (e *Engine) TotalMessages() int64 {
 func Charge(n *Node, op instr.Op, cost instr.Instr) {
 	if n.slowFactor > 1 && n.Clock < n.slowUntil {
 		cost *= instr.Instr(n.slowFactor)
+	}
+	if n.eng.chargeObs != nil && cost != 0 {
+		n.eng.chargeObs(n.ID, op, n.Clock, cost)
 	}
 	n.Clock += cost
 	n.Counters.Add(op, cost)

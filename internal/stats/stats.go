@@ -6,15 +6,34 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
-// Speedup returns base/improved, the paper's speedup convention.
+// Speedup returns base/improved, the paper's speedup convention. An
+// improved time of zero is an infinite speedup, not a zero one; 0/0 is
+// undefined (NaN).
 func Speedup(base, improved float64) float64 {
 	if improved == 0 {
-		return 0
+		if base == 0 {
+			return math.NaN()
+		}
+		return math.Inf(1)
 	}
 	return base / improved
+}
+
+// SpeedupStr formats a speedup for a table cell: two decimals for finite
+// values, "inf" for an infinite speedup, "n/a" for an undefined one.
+func SpeedupStr(s float64) string {
+	switch {
+	case math.IsNaN(s):
+		return "n/a"
+	case math.IsInf(s, 0):
+		return "inf"
+	default:
+		return fmt.Sprintf("%.2f", s)
+	}
 }
 
 // Ratio formats a local:remote style ratio like the paper's Table 4/6
@@ -35,9 +54,14 @@ func Ratio(local, remote float64) string {
 }
 
 // Seconds formats a time like the paper's tables (seconds, 2-3 significant
-// decimals).
+// decimals). Non-finite inputs print as "inf" / "n/a" rather than as
+// fmt's "+Inf" / "NaN".
 func Seconds(s float64) string {
 	switch {
+	case math.IsNaN(s):
+		return "n/a"
+	case math.IsInf(s, 0):
+		return "inf"
 	case s >= 100:
 		return fmt.Sprintf("%.0f", s)
 	case s >= 10:

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -9,8 +10,27 @@ func TestSpeedup(t *testing.T) {
 	if got := Speedup(2, 1); got != 2 {
 		t.Errorf("Speedup(2,1) = %v", got)
 	}
-	if got := Speedup(1, 0); got != 0 {
-		t.Errorf("Speedup(x,0) = %v, want 0", got)
+	if got := Speedup(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("Speedup(1,0) = %v, want +Inf", got)
+	}
+	if got := Speedup(0, 0); !math.IsNaN(got) {
+		t.Errorf("Speedup(0,0) = %v, want NaN", got)
+	}
+}
+
+func TestSpeedupStr(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{2, "2.00"},
+		{1.434, "1.43"},
+		{math.Inf(1), "inf"},
+		{math.NaN(), "n/a"},
+	} {
+		if got := SpeedupStr(tc.in); got != tc.want {
+			t.Errorf("SpeedupStr(%v) = %q, want %q", tc.in, got, tc.want)
+		}
 	}
 }
 
@@ -40,6 +60,8 @@ func TestSecondsFormats(t *testing.T) {
 		{1.234, "1.23"},
 		{0.1234, "0.123"},
 		{0.01234, "0.0123"},
+		{math.Inf(1), "inf"},
+		{math.NaN(), "n/a"},
 	} {
 		if got := Seconds(tc.in); got != tc.want {
 			t.Errorf("Seconds(%v) = %q, want %q", tc.in, got, tc.want)

@@ -51,10 +51,12 @@ const (
 	KForwardHop
 	// KDrop: the network dropped a message this node sent (Aux: words).
 	KDrop
-	// KDup: duplicate-delivery events. On the sending node the network
-	// duplicated a frame on the wire (Aux: words); on the receiving node the
-	// reliable layer suppressed an already-delivered frame (Aux: -1).
-	KDup
+	// KDupWire: the network duplicated a frame this node sent on the wire
+	// (Aux: words). Recorded on the sending node.
+	KDupWire
+	// KDupSuppressed: the reliable layer discarded an already-delivered
+	// frame (Aux: words). Recorded on the receiving node.
+	KDupSuppressed
 	// KRetransmit: an unacked frame was resent (Aux: total transmissions of
 	// that frame so far, including the original).
 	KRetransmit
@@ -65,6 +67,8 @@ const (
 	KStall
 	// KHopLimit: a request exceeded the forwarding-chain bound (Aux: hops).
 	KHopLimit
+	// KLockBlock: an invocation parked on a held object lock (Aux: 0).
+	KLockBlock
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -74,7 +78,58 @@ var kindNames = [NumKinds]string{
 	"invoke", "stackcall", "fallback", "ctxalloc", "suspend",
 	"wake", "send", "recv", "wrapper", "reply", "complete",
 	"migstart", "migarrive", "fwdhop",
-	"drop", "dup", "retransmit", "ackbatch", "stall", "hoplimit",
+	"drop", "dupwire", "dupsupp", "retransmit", "ackbatch", "stall",
+	"hoplimit", "lockblock",
+}
+
+// auxMeanings documents, per Kind, what Event.Aux carries — the one table
+// aggregators consult so no Kind's Aux is ever ambiguous. Keep it in sync
+// with the emit sites in internal/core; TestAuxMeanings enforces coverage.
+var auxMeanings = [NumKinds]string{
+	KInvoke:        "0 = local target, 1 = remote target",
+	KStackCall:     "unused (0)",
+	KFallback:      "packed Ref of the receiver object",
+	KCtxAlloc:      "unused (0)",
+	KSuspend:       "number of missing futures / outstanding joins",
+	KWake:          "unused (0)",
+	KMsgSend:       "PackMsg(peer=destination node, per-link seq, payload words)",
+	KMsgRecv:       "PackMsg(peer=wire sender node, per-link seq, payload words)",
+	KWrapper:       "unused (0)",
+	KReply:         "unused (0)",
+	KComplete:      "unused (0)",
+	KMigrateStart:  "packed Ref of the migrating object",
+	KMigrateArrive: "packed Ref of the installed object",
+	KForwardHop:    "forwarding hops taken so far, including this one",
+	KDrop:          "payload words of the dropped frame",
+	KDupWire:       "payload words of the duplicated frame",
+	KDupSuppressed: "payload words of the suppressed frame",
+	KRetransmit:    "total transmissions of the frame so far, incl. original",
+	KAckBatch:      "frames newly covered by this cumulative ack",
+	KStall:         "stall/brown-out window length in virtual time",
+	KHopLimit:      "forwarding hops at the moment the bound was exceeded",
+	KLockBlock:     "unused (0)",
+}
+
+// AuxMeaning returns the documented Aux semantics for kind k ("" only for
+// out-of-range kinds).
+func AuxMeaning(k Kind) string {
+	if int(k) < len(auxMeanings) {
+		return auxMeanings[k]
+	}
+	return ""
+}
+
+// PackMsg packs the per-message fields of a KMsgSend/KMsgRecv Aux: the peer
+// node (destination on the send side, wire sender on the receive side), the
+// per-directed-link sequence number, and the modeled payload words. Widths:
+// 16-bit peer, 24-bit seq (wraps after 16M messages per link), 20-bit words.
+func PackMsg(peer int, seq uint32, words int) int64 {
+	return int64(peer&0xFFFF)<<44 | int64(seq&0xFFFFFF)<<20 | int64(words&0xFFFFF)
+}
+
+// UnpackMsg inverts PackMsg.
+func UnpackMsg(aux int64) (peer int, seq uint32, words int) {
+	return int(aux >> 44 & 0xFFFF), uint32(aux >> 20 & 0xFFFFFF), int(aux & 0xFFFFF)
 }
 
 // String returns the kind name.
@@ -132,13 +187,35 @@ func (b *Buffer) Record(node int, at instr.Instr, kind uint8, method string, aux
 // Len returns the number of retained events.
 func (b *Buffer) Len() int { return b.n }
 
-// Events returns the retained events, oldest first.
+// Events returns the retained events, oldest first. It copies the whole
+// ring; hot consumers should use Each or AppendTo instead.
 func (b *Buffer) Events() []Event {
-	out := make([]Event, b.n)
+	return b.AppendTo(make([]Event, 0, b.n))
+}
+
+// Each calls fn on every retained event, oldest first, without copying the
+// ring. It stops early if fn returns false. fn must not call Record on the
+// same buffer.
+func (b *Buffer) Each(fn func(Event) bool) {
 	for i := 0; i < b.n; i++ {
-		out[i] = b.events[(b.start+i)%len(b.events)]
+		if !fn(b.events[(b.start+i)%len(b.events)]) {
+			return
+		}
 	}
-	return out
+}
+
+// AppendTo appends the retained events, oldest first, to dst and returns the
+// extended slice. Callers that process traces repeatedly can reuse dst to
+// avoid per-call allocation.
+func (b *Buffer) AppendTo(dst []Event) []Event {
+	if b.n == len(b.events) && b.start == 0 {
+		return append(dst, b.events...)
+	}
+	dst = append(dst, b.events[b.start:min(b.start+b.n, len(b.events))]...)
+	if wrap := b.start + b.n - len(b.events); wrap > 0 {
+		dst = append(dst, b.events[:wrap]...)
+	}
+	return dst
 }
 
 // Count returns the total occurrences of kind k, including overwritten ones.
@@ -170,10 +247,11 @@ func (b *Buffer) Timeline(w io.Writer, from, to instr.Instr) {
 // PerNode returns per-node event counts of a given kind.
 func (b *Buffer) PerNode(k Kind) map[int32]int64 {
 	out := map[int32]int64{}
-	for _, e := range b.Events() {
+	b.Each(func(e Event) bool {
 		if e.Kind == k {
 			out[e.Node]++
 		}
-	}
+		return true
+	})
 	return out
 }

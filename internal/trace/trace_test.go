@@ -84,3 +84,73 @@ func TestKindNamesDistinct(t *testing.T) {
 		seen[s] = true
 	}
 }
+
+func TestAuxMeanings(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if AuxMeaning(k) == "" {
+			t.Errorf("kind %s has no documented Aux meaning", k)
+		}
+	}
+	if AuxMeaning(NumKinds) != "" {
+		t.Error("out-of-range kind should have empty meaning")
+	}
+}
+
+func TestPackMsgRoundTrip(t *testing.T) {
+	cases := []struct {
+		peer  int
+		seq   uint32
+		words int
+	}{
+		{0, 0, 0},
+		{1, 1, 6},
+		{255, 1 << 23, 1<<20 - 1},
+		{1<<16 - 1, 1<<24 - 1, 12345},
+	}
+	for _, c := range cases {
+		peer, seq, words := UnpackMsg(PackMsg(c.peer, c.seq, c.words))
+		if peer != c.peer || seq != c.seq || words != c.words {
+			t.Fatalf("roundtrip(%v) = (%d,%d,%d)", c, peer, seq, words)
+		}
+	}
+}
+
+func TestEachAndAppendToMatchEvents(t *testing.T) {
+	// Exercise both the unwrapped and the wrapped ring state.
+	for _, records := range []int{3, 10} {
+		b := NewBuffer(4)
+		for i := 0; i < records; i++ {
+			b.Record(i%2, instr.Instr(i), uint8(KInvoke), "m", int64(i))
+		}
+		want := b.Events()
+
+		var each []Event
+		b.Each(func(e Event) bool { each = append(each, e); return true })
+		if len(each) != len(want) {
+			t.Fatalf("records=%d: Each saw %d events, want %d", records, len(each), len(want))
+		}
+		for i := range want {
+			if each[i] != want[i] {
+				t.Fatalf("records=%d: Each[%d] = %+v, want %+v", records, i, each[i], want[i])
+			}
+		}
+
+		dst := make([]Event, 0, 8)
+		got := b.AppendTo(dst)
+		if len(got) != len(want) {
+			t.Fatalf("records=%d: AppendTo gave %d events, want %d", records, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("records=%d: AppendTo[%d] = %+v, want %+v", records, i, got[i], want[i])
+			}
+		}
+
+		// Early stop.
+		n := 0
+		b.Each(func(Event) bool { n++; return false })
+		if n != 1 {
+			t.Fatalf("Each did not stop early: %d calls", n)
+		}
+	}
+}
