@@ -3,9 +3,16 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json tables figure9 examples chaos profile cover clean
+.PHONY: all build test lint bench bench-json tables figure9 examples chaos profile cover clean
 
 all: build test
+
+# Schema-declaration verification: concertvet (internal/lint) checks every
+# hand-declared core.Method property against what the method bodies do,
+# then the standard vet suite runs. Exit status is non-zero on any finding.
+lint:
+	$(GO) run ./cmd/concertvet ./apps/... ./examples/... ./structures
+	$(GO) vet ./...
 
 build:
 	$(GO) build ./...

@@ -228,10 +228,12 @@ func Build(variant Variant) *Methods {
 	// chainStore (forward): store the carried value into our input buffer,
 	// then forward the remainder of the chain — passing our reply
 	// obligation with it. The last node in the chain replies, determining
-	// the original continuation directly. Declared Captures: the method may
-	// require its continuation (to forward off-node), so the analysis gives
-	// it the CP schema.
-	m.chainStore = &core.Method{Name: "em3d.chainStore", NArgs: chainArgMax, Captures: true}
+	// the original continuation directly. Forwarding is not a capture: the
+	// obligation travels the self-Forwards edge (declared below), nothing
+	// on the chain captures, and the whole chain stays NB. When a hop does
+	// leave the node, the runtime materializes the continuation at the
+	// forwarding site regardless of schema.
+	m.chainStore = &core.Method{Name: "em3d.chainStore", NArgs: chainArgMax}
 	m.chainStore.Body = func(rt *core.RT, fr *core.Frame) core.Status {
 		g := fr.Node.State(fr.Self).(*GNode)
 		val := fr.Arg(0)

@@ -53,15 +53,16 @@ func TestForwardFewerMessagesThanPush(t *testing.T) {
 	}
 }
 
-// TestChainStoreIsCP: the forwarding method must get the
-// continuation-passing schema from the analysis.
-func TestChainStoreIsCP(t *testing.T) {
+// TestChainStoreIsNB: the forwarding chain neither blocks nor captures —
+// the self-forward cycle resolves to the non-blocking schema (forwarding
+// flows through the Forwards edge; it is not a continuation capture).
+func TestChainStoreIsNB(t *testing.T) {
 	m := Build(Forward)
 	if err := m.Prog.Resolve(core.Interfaces3); err != nil {
 		t.Fatal(err)
 	}
-	if m.chainStore.Required != core.SchemaCP {
-		t.Errorf("chainStore required schema = %v, want CP", m.chainStore.Required)
+	if m.chainStore.Required != core.SchemaNB {
+		t.Errorf("chainStore required schema = %v, want NB", m.chainStore.Required)
 	}
 	if m.get.Required != core.SchemaNB {
 		t.Errorf("get required schema = %v, want NB", m.get.Required)

@@ -107,8 +107,10 @@ func Build() *Methods {
 	// fetchCoords(idx, gid, requester): the atom owner forwards its reply
 	// obligation to a cache fill on the requesting chunk — a single
 	// continuation travels owner -> requester, and the fill's ack goes
-	// straight back to the suspended pair computation.
-	m.fetchCoords = &core.Method{Name: "md.fetchCoords", NArgs: 3, Captures: true,
+	// straight back to the suspended pair computation. Forwarding is not a
+	// capture: the obligation flows through the Forwards edge, and since
+	// fillCache never captures, fetchCoords stays NB.
+	m.fetchCoords = &core.Method{Name: "md.fetchCoords", NArgs: 3,
 		Forwards: []*core.Method{m.fillCache}}
 	m.fetchCoords.Body = func(rt *core.RT, fr *core.Frame) core.Status {
 		c := fr.Node.State(fr.Self).(*Chunk)

@@ -78,13 +78,15 @@ func TestCoordinateCacheCombining(t *testing.T) {
 	}
 }
 
-func TestFetchCoordsIsCP(t *testing.T) {
+func TestFetchCoordsIsNB(t *testing.T) {
 	m := Build()
 	if err := m.Prog.Resolve(core.Interfaces3); err != nil {
 		t.Fatal(err)
 	}
-	if m.fetchCoords.Required != core.SchemaCP {
-		t.Errorf("fetchCoords required schema = %v, want CP", m.fetchCoords.Required)
+	// fetchCoords only tail-forwards to the non-capturing fillCache: a
+	// forward chain to an NB leaf stays NB.
+	if m.fetchCoords.Required != core.SchemaNB {
+		t.Errorf("fetchCoords required schema = %v, want NB", m.fetchCoords.Required)
 	}
 	if m.pairForce.Required != core.SchemaMB {
 		t.Errorf("pairForce required schema = %v, want MB", m.pairForce.Required)

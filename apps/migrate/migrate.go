@@ -107,8 +107,10 @@ func Build() *Methods {
 	p.Add(m.fillCache)
 
 	// fetchCoords(idx, gid, requester): the partner cell forwards its reply
-	// obligation to a cache fill on the requesting cell.
-	m.fetchCoords = &core.Method{Name: "mig.fetchCoords", NArgs: 3, Captures: true,
+	// obligation to a cache fill on the requesting cell. Forwarding is not
+	// a capture — the obligation flows through the Forwards edge, and since
+	// fillCache never captures, fetchCoords stays NB.
+	m.fetchCoords = &core.Method{Name: "mig.fetchCoords", NArgs: 3,
 		Forwards: []*core.Method{m.fillCache}}
 	m.fetchCoords.Body = func(rt *core.RT, fr *core.Frame) core.Status {
 		c := fr.Node.State(fr.Self).(*Cell)

@@ -147,7 +147,9 @@ func buildProgram() (*core.Program, *core.Method, map[string]*core.Method) {
 	ms["mb"] = mbLeaf
 
 	// lockedLeaf: a locking method used for the pure-fallback scenario.
-	lockedLeaf := &core.Method{Name: "ov.locked", Locks: true, MayBlockLocal: true}
+	// Locks alone already feeds the may-block analysis; the straight-line
+	// body has no touch, so MayBlockLocal would be a false claim.
+	lockedLeaf := &core.Method{Name: "ov.locked", Locks: true}
 	lockedLeaf.Body = func(rt *core.RT, fr *core.Frame) core.Status {
 		rt.Reply(fr, 1)
 		return core.Done

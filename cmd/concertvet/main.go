@@ -1,0 +1,52 @@
+// Concertvet is the multichecker for the schema-declaration verifier
+// (internal/lint): it checks hand-declared core.Method analysis inputs
+// (MayBlockLocal, Captures, Calls, Forwards) against what the method bodies
+// actually do, reporting unsound and pessimizing declarations with
+// file:line positions.
+//
+// Usage:
+//
+//	go run ./cmd/concertvet [-unsound-only] ./apps/... ./examples/...
+//
+// Patterns name package directories; a trailing /... walks the tree. The
+// exit status is 2 when any diagnostic is reported (1 for usage or load
+// errors), so the binary can gate CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	unsoundOnly := flag.Bool("unsound-only", false, "report only unsound diagnostics (suppress pessimizing)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: concertvet [-unsound-only] pattern...\n")
+		fmt.Fprintf(os.Stderr, "patterns are package directories; dir/... walks the tree\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+	findings, err := lint.Run([]*lint.Analyzer{lint.MethodDecl, lint.FrameBounds}, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "concertvet: %v\n", err)
+		os.Exit(1)
+	}
+	reported := 0
+	for _, f := range findings {
+		if *unsoundOnly && f.Category != "unsound" {
+			continue
+		}
+		fmt.Println(f)
+		reported++
+	}
+	if reported > 0 {
+		os.Exit(2)
+	}
+}

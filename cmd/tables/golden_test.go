@@ -73,3 +73,30 @@ func TestTablesZeroPerturbation(t *testing.T) {
 		}
 	}
 }
+
+// TestTablesCheckDeclsZeroPerturbation: arming the runtime declaration
+// sanitizer (the -checkdecls flag) must not move a single byte of any
+// published table — the checks charge no virtual time — and, as a side
+// effect, this runs every kernel at small scale under the sanitizer,
+// proving every hand-declared method property consistent with what the
+// bodies actually did.
+func TestTablesCheckDeclsZeroPerturbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every table twice")
+	}
+	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8}
+
+	adorn = nil
+	plain := captureTables(t, tables)
+
+	adorn = func(cfg core.Config) core.Config {
+		cfg.CheckDecls = true
+		return cfg
+	}
+	checked := captureTables(t, tables)
+	adorn = nil
+
+	if plain != checked {
+		t.Fatalf("tables differ with CheckDecls on:\n--- off ---\n%s\n--- on ---\n%s", plain, checked)
+	}
+}

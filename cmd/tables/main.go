@@ -18,6 +18,12 @@
 // Chrome trace_event JSON for ui.perfetto.dev. The tables themselves are
 // byte-identical with or without observability (the golden test enforces
 // it).
+//
+// -checkdecls arms the runtime declaration sanitizer for every run: the
+// process panics with a *core.DeclError if any kernel's hand-declared
+// method properties are contradicted at runtime. Like observability, the
+// sanitizer adds no virtual charges, so the tables are byte-identical with
+// it on or off (also golden-tested).
 package main
 
 import (
@@ -66,7 +72,21 @@ func main() {
 	seed := flag.Int64("seed", 1995, "workload generation seed")
 	profile := flag.Bool("profile", false, "append per-kernel cycle attribution and critical paths")
 	traceOut := flag.String("trace-out", "", "with -profile: write the SOR run as trace_event JSON to FILE")
+	checkDecls := flag.Bool("checkdecls", false, "arm the runtime declaration sanitizer (core.Config.CheckDecls) for every run")
 	flag.Parse()
+
+	if *checkDecls {
+		// Compose with any other adorner: the sanitizer adds no virtual
+		// charges, so the tables stay byte-identical (golden-tested).
+		prev := adorn
+		adorn = func(c core.Config) core.Config {
+			if prev != nil {
+				c = prev(c)
+			}
+			c.CheckDecls = true
+			return c
+		}
+	}
 
 	run := func(name string, fn func(string, int64)) {
 		if *table == "all" || *table == name {

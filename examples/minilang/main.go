@@ -2,9 +2,9 @@
 // concurrent mini-language (the ICC++/Concert-compiler analog) and run it
 // under both execution models. The compiler derives each method's calling
 // schema from its syntax — leaf methods become Non-blocking plain calls,
-// spawn/touch methods become May-block, forwarding methods become
-// Continuation-passing — exactly the paper's analysis, end to end from
-// source text.
+// spawn/touch methods become May-block, and forwarding contributes call
+// graph edges along which blocking and continuation needs propagate —
+// exactly the paper's analysis, end to end from source text.
 //
 //	go run ./examples/minilang
 package main

@@ -47,9 +47,11 @@ type program struct {
 func build() *program {
 	p := &program{prog: concert.NewProgram()}
 
-	// process(x): transform and forward. Declared Captures because the
-	// forward may leave the node, which requires the continuation.
-	p.process = &concert.Method{Name: "pipe.process", NArgs: 1, Captures: true}
+	// process(x): transform and forward. Forwarding is not a capture — the
+	// reply obligation flows along the self-Forwards edge declared below,
+	// and the runtime materializes the continuation at a forwarding site
+	// that leaves the node regardless of schema, so process stays NB.
+	p.process = &concert.Method{Name: "pipe.process", NArgs: 1}
 	p.process.Body = func(rt *concert.RT, fr *concert.Frame) concert.Status {
 		s := fr.Node.State(fr.Self).(*stage)
 		x := fr.Arg(0).Int()

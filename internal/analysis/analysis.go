@@ -20,9 +20,10 @@
 //     calls to CP methods do NOT propagate the property: the caller merely
 //     supplies caller_info at that call site.
 //
-// The analysis is a simple monotone fixpoint, conservative over cycles
-// (recursive methods that might block are classified May-block, exactly as
-// the paper's conservative analysis would).
+// Both properties are monotone boolean closures, so the fixpoint is solved
+// exactly by a worklist pass over reverse call-graph edges in O(V+E). The
+// result is conservative over cycles (recursive methods that might block are
+// classified May-block, exactly as the paper's conservative analysis would).
 package analysis
 
 // MethodInfo describes the locally-visible properties of one method and its
@@ -51,34 +52,61 @@ type Props struct {
 }
 
 // Solve computes the transitive MayBlock and NeedsCont properties for every
-// method by monotone fixpoint iteration. Indices out of range panic: the
-// caller constructed an inconsistent call graph.
+// method. Indices out of range panic: the caller constructed an inconsistent
+// call graph.
+//
+// Each property is a monotone boolean closure over a fixed edge relation
+// (MayBlock flows caller-ward over Calls and Forwards; NeedsCont flows
+// caller-ward over Forwards only), so instead of re-sweeping every method
+// until quiescence the solver seeds the locally-true methods and runs a
+// breadth-first worklist over the reverse edges. Every method enters each
+// worklist at most once, giving O(V+E) total — identical results to the
+// naive fixpoint, without its O(V·E)-per-iteration sweeps.
 func Solve(methods []MethodInfo) []Props {
 	props := make([]Props, len(methods))
+	// Reverse adjacency. revAll[v] holds the callers with a Calls or
+	// Forwards edge into v; revFwd[v] only those that tail-forward to v.
+	revAll := make([][]int32, len(methods))
+	revFwd := make([][]int32, len(methods))
+	var blockSeeds, contSeeds []int32
 	for i, m := range methods {
-		props[i].MayBlock = m.MayBlockLocal
-		props[i].NeedsCont = m.Captures
+		for _, c := range m.Calls {
+			revAll[c] = append(revAll[c], int32(i))
+		}
+		for _, f := range m.Forwards {
+			revAll[f] = append(revAll[f], int32(i))
+			revFwd[f] = append(revFwd[f], int32(i))
+		}
+		if m.MayBlockLocal {
+			props[i].MayBlock = true
+			blockSeeds = append(blockSeeds, int32(i))
+		}
+		if m.Captures {
+			props[i].NeedsCont = true
+			contSeeds = append(contSeeds, int32(i))
+		}
 	}
-	for changed := true; changed; {
-		changed = false
-		for i, m := range methods {
-			p := props[i]
-			for _, c := range m.Calls {
-				if props[c].MayBlock {
-					p.MayBlock = true
-				}
+
+	work := blockSeeds
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, u := range revAll[v] {
+			if !props[u].MayBlock {
+				props[u].MayBlock = true
+				work = append(work, u)
 			}
-			for _, f := range m.Forwards {
-				if props[f].MayBlock {
-					p.MayBlock = true
-				}
-				if props[f].NeedsCont {
-					p.NeedsCont = true
-				}
-			}
-			if p != props[i] {
-				props[i] = p
-				changed = true
+		}
+	}
+
+	work = contSeeds
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, u := range revFwd[v] {
+			if !props[u].NeedsCont {
+				props[u].NeedsCont = true
+				work = append(work, u)
 			}
 		}
 	}

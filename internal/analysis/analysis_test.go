@@ -90,6 +90,178 @@ func TestSelfForwardingCycle(t *testing.T) {
 	}
 }
 
+func TestMutualRecursionThroughForwards(t *testing.T) {
+	// a and b tail-forward to each other; neither captures, so the cycle
+	// alone must not manufacture NeedsCont. Adding one local blocker makes
+	// the whole cycle MayBlock.
+	p := solve(
+		MethodInfo{Name: "a", Forwards: []int{1}},
+		MethodInfo{Name: "b", Forwards: []int{0}},
+	)
+	if p[0].NeedsCont || p[1].NeedsCont {
+		t.Fatal("non-capturing forward cycle must not need continuations")
+	}
+	if p[0].MayBlock || p[1].MayBlock {
+		t.Fatal("non-blocking forward cycle must stay NB")
+	}
+	p = solve(
+		MethodInfo{Name: "a", Forwards: []int{1}, MayBlockLocal: true},
+		MethodInfo{Name: "b", Forwards: []int{0}},
+	)
+	if !p[0].MayBlock || !p[1].MayBlock {
+		t.Fatal("blocking must propagate around a mutual forward cycle")
+	}
+	// A capture anywhere on the cycle reaches every member through the
+	// reverse Forwards edges.
+	p = solve(
+		MethodInfo{Name: "a", Forwards: []int{1}},
+		MethodInfo{Name: "b", Forwards: []int{0}, Captures: true},
+	)
+	if !p[0].NeedsCont || !p[1].NeedsCont {
+		t.Fatal("capture on a forward cycle must reach the whole cycle")
+	}
+}
+
+func TestNeedsContAlongForwardChainToCapture(t *testing.T) {
+	// head -> mid -> tail by tail-forwarding; only the tail captures. The
+	// reply obligation travels the whole chain, so every link needs the
+	// continuation-passing schema.
+	p := solve(
+		MethodInfo{Name: "tail", Captures: true},
+		MethodInfo{Name: "mid", Forwards: []int{0}},
+		MethodInfo{Name: "head", Forwards: []int{1}},
+	)
+	for i, name := range []string{"tail", "mid", "head"} {
+		if !p[i].NeedsCont {
+			t.Errorf("%s must need a continuation", name)
+		}
+	}
+}
+
+func TestCallsToCPMethodDoNotPropagateNeedsCont(t *testing.T) {
+	// Documented rule: an ordinary call to a CP method supplies caller_info
+	// at the call site but does not turn the caller CP — even when the call
+	// is many levels removed from the capture, and even when the caller also
+	// forwards to a plain NB method.
+	p := solve(
+		MethodInfo{Name: "cap", Captures: true},
+		MethodInfo{Name: "fwdToCap", Forwards: []int{0}},
+		MethodInfo{Name: "caller", Calls: []int{1}},
+		MethodInfo{Name: "outer", Calls: []int{2}},
+		MethodInfo{Name: "nbLeaf"},
+		MethodInfo{Name: "mixed", Calls: []int{1}, Forwards: []int{4}},
+	)
+	if !p[1].NeedsCont {
+		t.Fatal("forwarding to a capturer must be CP")
+	}
+	for _, i := range []int{2, 3, 5} {
+		if p[i].NeedsCont {
+			t.Errorf("method %d: ordinary Calls edge to a CP method must not propagate NeedsCont", i)
+		}
+	}
+}
+
+// solveNaive is the pre-worklist reference implementation: a full re-sweep
+// monotone fixpoint. Kept test-side only, as the oracle for the differential
+// test below.
+func solveNaive(methods []MethodInfo) []Props {
+	props := make([]Props, len(methods))
+	for i, m := range methods {
+		props[i].MayBlock = m.MayBlockLocal
+		props[i].NeedsCont = m.Captures
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, m := range methods {
+			p := props[i]
+			for _, c := range m.Calls {
+				if props[c].MayBlock {
+					p.MayBlock = true
+				}
+			}
+			for _, f := range m.Forwards {
+				if props[f].MayBlock {
+					p.MayBlock = true
+				}
+				if props[f].NeedsCont {
+					p.NeedsCont = true
+				}
+			}
+			if p != props[i] {
+				props[i] = p
+				changed = true
+			}
+		}
+	}
+	return props
+}
+
+// Property: the worklist solver computes exactly the naive fixpoint.
+func TestQuickWorklistMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ms := randGraph(rng, 1+rng.Intn(40))
+		fast := Solve(ms)
+		slow := solveNaive(ms)
+		for i := range ms {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// synthGraph builds a layered 10k-method call graph shaped like a large
+// program: mostly calls downward between adjacent layers, a sprinkling of
+// tail-forward chains, sparse local blockers and captures, plus a few long
+// back edges forming recursion cycles.
+func synthGraph(n int) []MethodInfo {
+	rng := rand.New(rand.NewSource(1995))
+	ms := make([]MethodInfo, n)
+	const layer = 100
+	for i := range ms {
+		ms[i].MayBlockLocal = rng.Intn(50) == 0
+		ms[i].Captures = rng.Intn(200) == 0
+		base := (i/layer + 1) * layer
+		if base < n {
+			for e := 0; e < 3; e++ {
+				ms[i].Calls = append(ms[i].Calls, base+rng.Intn(min(layer, n-base)))
+			}
+			if rng.Intn(4) == 0 {
+				ms[i].Forwards = append(ms[i].Forwards, base+rng.Intn(min(layer, n-base)))
+			}
+		}
+		if rng.Intn(100) == 0 && i >= layer {
+			ms[i].Calls = append(ms[i].Calls, rng.Intn(i)) // back edge: cycle
+		}
+	}
+	return ms
+}
+
+func BenchmarkSolve10k(b *testing.B) {
+	ms := synthGraph(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(ms)
+	}
+}
+
+func TestSynthGraphAgreesWithNaive(t *testing.T) {
+	ms := synthGraph(2000)
+	fast := Solve(ms)
+	slow := solveNaive(ms)
+	for i := range ms {
+		if fast[i] != slow[i] {
+			t.Fatalf("method %d: worklist %+v, naive %+v", i, fast[i], slow[i])
+		}
+	}
+}
+
 func randGraph(rng *rand.Rand, n int) []MethodInfo {
 	ms := make([]MethodInfo, n)
 	for i := range ms {

@@ -1,0 +1,70 @@
+package core
+
+import "fmt"
+
+// DeclError reports a method declaration contradicted at runtime: the
+// activation did something its Method's hand-declared analysis inputs
+// (MayBlockLocal/Locks, Captures, Calls, Forwards) say it cannot do. It is
+// the payload of the panics raised under Config.CheckDecls — the dynamic
+// complement to the cmd/concertvet static pass. A contradicted declaration
+// means analysis.Solve ran on wrong inputs, so the schemas the run executed
+// under are untrustworthy; the error therefore carries the frame state at
+// the violation point for diagnosis.
+type DeclError struct {
+	// Method is the name of the misdeclared method.
+	Method string
+	// Field names the declared field the body contradicted:
+	// "MayBlockLocal", "Captures", "Calls", or "Forwards".
+	Field string
+	// Callee is the invoked or forwarded-to method for Calls/Forwards
+	// violations; empty otherwise.
+	Callee string
+	// Node, PC and Mode are the frame state at the violation: the node the
+	// activation ran on, its resume point, and whether it was executing as
+	// a speculative stack frame or a heap context.
+	Node int
+	PC   int
+	Mode Mode
+	// Detail is a human-readable account of what the body actually did.
+	Detail string
+}
+
+func (e *DeclError) Error() string {
+	mode := "heap"
+	if e.Mode == StackMode {
+		mode = "stack"
+	}
+	msg := fmt.Sprintf("declaration violated: method %s (node %d, pc %d, %s mode): %s",
+		e.Method, e.Node, e.PC, mode, e.Detail)
+	if e.Callee != "" {
+		msg += fmt.Sprintf(" [%s missing %s]", e.Field, e.Callee)
+	} else {
+		msg += fmt.Sprintf(" [declared %s contradicted]", e.Field)
+	}
+	return msg
+}
+
+// declViolation raises the CheckDecls panic for frame fr. Callers have
+// already established both that CheckDecls is set and that the declaration
+// is contradicted; this only assembles the report.
+func (rt *RT) declViolation(fr *Frame, field, callee, detail string) {
+	panic(&DeclError{
+		Method: fr.M.Name,
+		Field:  field,
+		Callee: callee,
+		Node:   fr.Node.ID,
+		PC:     fr.PC,
+		Mode:   fr.Mode,
+		Detail: detail,
+	})
+}
+
+// declaredEdge reports whether m appears in the declared edge list.
+func declaredEdge(list []*Method, m *Method) bool {
+	for _, d := range list {
+		if d == m {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// runExpectDeclError runs a root invocation of m on a 2-node machine with
+// CheckDecls armed and asserts the run panics with a *DeclError naming the
+// given method and field.
+func runExpectDeclError(t *testing.T, p *Program, m *Method, wantMethod, wantField, wantCallee string, args ...Word) *DeclError {
+	t.Helper()
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultHybrid()
+	cfg.CheckDecls = true
+	eng := sim.NewEngine(2)
+	rt := NewRT(eng, machine.CM5(), p, cfg)
+	self := rt.Node(0).NewObject(nil)
+	remote := rt.Node(1).NewObject(nil)
+	var res Result
+	var de *DeclError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			var ok bool
+			if de, ok = r.(*DeclError); !ok {
+				panic(r)
+			}
+		}()
+		rt.StartOn(0, m, self, &res, append(args, RefW(remote))...)
+		rt.Run()
+	}()
+	if de == nil {
+		t.Fatalf("run completed without a DeclError (res.Done=%v)", res.Done)
+	}
+	if de.Method != wantMethod {
+		t.Errorf("DeclError.Method = %q, want %q", de.Method, wantMethod)
+	}
+	if de.Field != wantField {
+		t.Errorf("DeclError.Field = %q, want %q", de.Field, wantField)
+	}
+	if de.Callee != wantCallee {
+		t.Errorf("DeclError.Callee = %q, want %q", de.Callee, wantCallee)
+	}
+	if !strings.Contains(de.Error(), wantMethod) || !strings.Contains(de.Error(), wantField) {
+		t.Errorf("DeclError.Error() = %q: must name the method and field", de.Error())
+	}
+	return de
+}
+
+// leafReply is a trivial NB leaf used as a callee in the seeded programs.
+func leafReply(p *Program) *Method {
+	leaf := &Method{Name: "decl.leaf", NArgs: 0}
+	leaf.Body = func(rt *RT, fr *Frame) Status {
+		rt.Reply(fr, IntW(7))
+		return Done
+	}
+	p.Add(leaf)
+	return leaf
+}
+
+// TestCheckDeclsCatchesNBMethodThatBlocks: the acceptance scenario — a
+// method declared without MayBlockLocal (so Solve assigns it the NB schema)
+// that in fact suspends on a future fed by a remote invocation. The
+// sanitizer must catch the suspension and identify the frame.
+func TestCheckDeclsCatchesNBMethodThatBlocks(t *testing.T) {
+	p := NewProgram()
+	leaf := leafReply(p)
+	bad := &Method{Name: "decl.badNB", NArgs: 1, NFutures: 1}
+	bad.Calls = []*Method{leaf}
+	bad.Body = func(rt *RT, fr *Frame) Status {
+		switch fr.PC {
+		case 0:
+			// Remote invocation: the future cannot be full yet, so the touch
+			// below must suspend — which an NB declaration forbids.
+			st := rt.Invoke(fr, leaf, fr.Arg(0).Ref(), 0)
+			fr.PC = 1
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, Mask(0)) {
+				return Unwound
+			}
+			rt.Reply(fr, fr.Fut(0))
+			return Done
+		}
+		panic("bad pc")
+	}
+	p.Add(bad)
+	de := runExpectDeclError(t, p, bad, "decl.badNB", "MayBlockLocal", "")
+	if bad.Required != SchemaNB {
+		t.Fatalf("precondition: badNB resolved to %v, want NB (the misdeclaration)", bad.Required)
+	}
+	if de.Node != 0 {
+		t.Errorf("violation on node %d, want 0", de.Node)
+	}
+}
+
+// TestCheckDeclsCatchesJoinSuspension: the TouchJoin flavor of the same
+// misdeclaration.
+func TestCheckDeclsCatchesJoinSuspension(t *testing.T) {
+	p := NewProgram()
+	leaf := leafReply(p)
+	bad := &Method{Name: "decl.badJoin", NArgs: 1}
+	bad.Calls = []*Method{leaf}
+	bad.Body = func(rt *RT, fr *Frame) Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, leaf, fr.Arg(0).Ref(), JoinDiscard)
+			fr.PC = 1
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchJoin(fr) {
+				return Unwound
+			}
+			rt.Reply(fr, IntW(1))
+			return Done
+		}
+		panic("bad pc")
+	}
+	p.Add(bad)
+	runExpectDeclError(t, p, bad, "decl.badJoin", "MayBlockLocal", "")
+}
+
+// TestCheckDeclsCatchesUndeclaredCapture: a method without Captures that
+// grabs its continuation as a first-class value.
+func TestCheckDeclsCatchesUndeclaredCapture(t *testing.T) {
+	p := NewProgram()
+	bad := &Method{Name: "decl.badCap", NArgs: 1}
+	bad.Body = func(rt *RT, fr *Frame) Status {
+		c := rt.CaptureCont(fr)
+		rt.DeliverCont(fr.Node, c, IntW(9), false)
+		return Forwarded
+	}
+	p.Add(bad)
+	runExpectDeclError(t, p, bad, "decl.badCap", "Captures", "")
+}
+
+// TestCheckDeclsCatchesUndeclaredCallEdge: invoking a method absent from
+// the declared Calls list.
+func TestCheckDeclsCatchesUndeclaredCallEdge(t *testing.T) {
+	p := NewProgram()
+	leaf := leafReply(p)
+	bad := &Method{Name: "decl.badCall", NArgs: 1, NFutures: 1, MayBlockLocal: true}
+	// Calls deliberately left empty.
+	bad.Body = func(rt *RT, fr *Frame) Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, leaf, fr.Self, 0)
+			fr.PC = 1
+			if st == NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, Mask(0)) {
+				return Unwound
+			}
+			rt.Reply(fr, fr.Fut(0))
+			return Done
+		}
+		panic("bad pc")
+	}
+	p.Add(bad)
+	runExpectDeclError(t, p, bad, "decl.badCall", "Calls", "decl.leaf")
+}
+
+// TestCheckDeclsCatchesUndeclaredForwardEdge: tail-forwarding to a method
+// absent from the declared Forwards list.
+func TestCheckDeclsCatchesUndeclaredForwardEdge(t *testing.T) {
+	p := NewProgram()
+	leaf := leafReply(p)
+	bad := &Method{Name: "decl.badFwd", NArgs: 1}
+	// Forwards deliberately left empty.
+	bad.Body = func(rt *RT, fr *Frame) Status {
+		return rt.ForwardTail(fr, leaf, fr.Self)
+	}
+	p.Add(bad)
+	runExpectDeclError(t, p, bad, "decl.badFwd", "Forwards", "decl.leaf")
+}
+
+// TestCheckDeclsZeroPerturbation: on a declaration-clean program the
+// sanitizer must be invisible — same result, same final virtual clocks,
+// same counters — under both execution models.
+func TestCheckDeclsZeroPerturbation(t *testing.T) {
+	for _, hybrid := range []bool{true, false} {
+		run := func(check bool) (*RT, Word) {
+			p := NewProgram()
+			fib := buildFib(p)
+			cfg := DefaultHybrid()
+			if !hybrid {
+				cfg = ParallelOnly()
+			}
+			cfg.CheckDecls = check
+			if err := p.Resolve(cfg.Interfaces); err != nil {
+				t.Fatal(err)
+			}
+			eng := sim.NewEngine(1)
+			rt := NewRT(eng, machine.SPARCStation(), p, cfg)
+			self := rt.Node(0).NewObject(nil)
+			var res Result
+			rt.StartOn(0, fib, self, &res, IntW(12))
+			rt.Run()
+			if !res.Done {
+				t.Fatal("fib did not complete")
+			}
+			return rt, res.Val
+		}
+		off, vOff := run(false)
+		on, vOn := run(true)
+		if vOff != vOn {
+			t.Fatalf("hybrid=%v: result moved with CheckDecls on: %v vs %v", hybrid, vOff, vOn)
+		}
+		if a, b := off.Node(0).Sim.Clock, on.Node(0).Sim.Clock; a != b {
+			t.Fatalf("hybrid=%v: final clock moved with CheckDecls on: %d vs %d", hybrid, a, b)
+		}
+		if a, b := off.Node(0).Stats, on.Node(0).Stats; a != b {
+			t.Fatalf("hybrid=%v: node stats moved with CheckDecls on:\noff %+v\non  %+v", hybrid, a, b)
+		}
+	}
+}

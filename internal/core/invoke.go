@@ -31,6 +31,10 @@ import (
 func (rt *RT) Invoke(fr *Frame, m *Method, target Ref, slot int, args ...Word) CallStatus {
 	n := fr.Node
 	mdl := rt.Model
+	if rt.Cfg.CheckDecls && !declaredEdge(fr.M.Calls, m) {
+		rt.declViolation(fr, "Calls", m.Name,
+			fmt.Sprintf("invoked %s, which is not in the declared Calls list", m.Name))
+	}
 	if !rt.Cfg.SeqOpt {
 		n.charge(instr.OpCheck, mdl.NameTranslate+mdl.LocalityCheck)
 	}
@@ -223,6 +227,10 @@ func (rt *RT) TouchAll(fr *Frame, mask uint64) bool {
 	if missing == 0 {
 		return true
 	}
+	if rt.Cfg.CheckDecls && !fr.M.MayBlockLocal && !fr.M.Locks {
+		rt.declViolation(fr, "MayBlockLocal", "",
+			fmt.Sprintf("suspended on %d unfilled future(s) of touch mask %#x, but neither MayBlockLocal nor Locks is declared", missing, mask))
+	}
 	if !fr.promoted {
 		rt.promote(n, fr)
 	}
@@ -243,6 +251,10 @@ func (rt *RT) TouchJoin(fr *Frame) bool {
 	n.charge(instr.OpFuture, rt.Model.TouchBase)
 	if fr.joinOut == 0 {
 		return true
+	}
+	if rt.Cfg.CheckDecls && !fr.M.MayBlockLocal && !fr.M.Locks {
+		rt.declViolation(fr, "MayBlockLocal", "",
+			fmt.Sprintf("suspended on a join of %d outstanding replies, but neither MayBlockLocal nor Locks is declared", fr.joinOut))
 	}
 	if !fr.promoted {
 		rt.promote(n, fr)
@@ -276,6 +288,10 @@ func (rt *RT) Reply(fr *Frame, val Word) {
 func (rt *RT) ForwardTail(fr *Frame, m *Method, target Ref, args ...Word) Status {
 	n := fr.Node
 	mdl := rt.Model
+	if rt.Cfg.CheckDecls && !declaredEdge(fr.M.Forwards, m) {
+		rt.declViolation(fr, "Forwards", m.Name,
+			fmt.Sprintf("tail-forwarded to %s, which is not in the declared Forwards list", m.Name))
+	}
 	if !rt.Cfg.SeqOpt {
 		n.charge(instr.OpCheck, mdl.NameTranslate+mdl.LocalityCheck)
 	}
@@ -358,6 +374,10 @@ func (rt *RT) ForwardTail(fr *Frame, m *Method, target Ref, args ...Word) Status
 // materialized lazily per caller_info; the body must eventually cause it to
 // be determined (DeliverCont) and must return Forwarded, not Done.
 func (rt *RT) CaptureCont(fr *Frame) Cont {
+	if rt.Cfg.CheckDecls && !fr.M.Captures {
+		rt.declViolation(fr, "Captures", "",
+			"captured its continuation, but Captures is not declared")
+	}
 	cont := fr.RetCont
 	rt.materializeCont(fr.Node, fr, cont)
 	fr.captured = true

@@ -155,6 +155,18 @@ type Config struct {
 	// re-routes under migration); zero derives 2*nodes+8. Exceeding the
 	// bound is a traced runtime error, not silent unbounded growth.
 	MaxForwardHops int
+
+	// CheckDecls arms the runtime declaration sanitizer: the dynamic
+	// backstop behind cmd/concertvet's static pass, for what static
+	// analysis cannot see through indirection. When set, the runtime
+	// panics with a *DeclError the moment an activation contradicts the
+	// declared analysis inputs of its method: suspending on futures
+	// without MayBlockLocal or Locks, capturing a continuation without
+	// Captures, invoking a method absent from Calls, or tail-forwarding
+	// to a method absent from Forwards. The checks charge no virtual
+	// time and never alter control flow on declaration-clean programs:
+	// simulated results are byte-identical with the sanitizer on or off.
+	CheckDecls bool
 }
 
 // Tracer receives execution-model events from the runtime. Implementations

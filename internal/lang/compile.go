@@ -52,7 +52,10 @@ func Compile(src string) (*Compiled, error) {
 			NFutures:      len(mc.futures),
 			Locks:         d.locked,
 			MayBlockLocal: mc.mayBlock,
-			Captures:      mc.forwards, // forwarding may require the continuation
+			// minic has no first-class continuation construct, so Captures
+			// stays false: tail-forwarding flows through the Forwards edges
+			// built below, and analysis.Solve propagates NeedsCont along
+			// them only when some forwarded-to method actually captures.
 		}
 		m.Body = makeBody(mc)
 		prog.Add(m)

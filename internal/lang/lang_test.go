@@ -95,7 +95,9 @@ func TestCompiledTak(t *testing.T) {
 
 // TestSchemaDerivation: the compiler must classify methods from syntax —
 // no spawn/touch/forward means a non-blocking leaf; spawn+touch means
-// may-block; forward means continuation-passing.
+// may-block; a forward-only chain to an NB leaf stays NB (forwarding is a
+// Forwards edge, not a continuation capture, so NeedsCont only arrives from
+// a forwarded-to method that captures — which minic cannot express).
 func TestSchemaDerivation(t *testing.T) {
 	src := `
 method leaf(x) { return x * 2; }
@@ -119,8 +121,54 @@ method relay(x) { forward leaf(x + 1) on self; }
 	if got := c.Methods["caller"].Required; got != core.SchemaMB {
 		t.Errorf("caller schema = %v, want MB", got)
 	}
-	if got := c.Methods["relay"].Required; got != core.SchemaCP {
-		t.Errorf("relay schema = %v, want CP", got)
+	if got := c.Methods["relay"].Required; got != core.SchemaNB {
+		t.Errorf("relay schema = %v, want NB: forward-only chain to an NB leaf", got)
+	}
+	if len(c.Methods["relay"].Forwards) != 1 || c.Methods["relay"].Forwards[0] != c.Methods["leaf"] {
+		t.Errorf("relay must carry a Forwards edge to leaf")
+	}
+	if c.Methods["relay"].Captures {
+		t.Errorf("forwarding must not be compiled as a continuation capture")
+	}
+}
+
+// TestForwardChainSchemas: satellite check for the compiler fix — a
+// forward-only chain into a may-blocking leaf resolves to MB, not CP, and
+// the pure chain to an NB leaf resolves to NB.
+func TestForwardChainSchemas(t *testing.T) {
+	src := `
+method nbleaf(x) { return x + 1; }
+method mbleaf(x) {
+    a = spawn nbleaf(x) on self;
+    touch a;
+    return a;
+}
+method hop2(x) { forward nbleaf(x) on self; }
+method hop1(x) { forward hop2(x) on self; }
+method bhop(x) { forward mbleaf(x) on self; }
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prog.Resolve(core.Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]core.Schema{
+		"nbleaf": core.SchemaNB,
+		"mbleaf": core.SchemaMB,
+		"hop2":   core.SchemaNB,
+		"hop1":   core.SchemaNB,
+		"bhop":   core.SchemaMB,
+	} {
+		if got := c.Methods[name].Required; got != want {
+			t.Errorf("%s schema = %v, want %v", name, got, want)
+		}
+	}
+	// The chain must still run correctly end to end.
+	got := run(t, src, "hop1", core.DefaultHybrid(), 2, core.IntW(41))
+	if got != 42 {
+		t.Fatalf("hop1(41) = %d, want 42", got)
 	}
 }
 
@@ -408,9 +456,10 @@ method main(n) {
 	if err := c.Prog.Resolve(core.Interfaces3); err != nil {
 		t.Fatal(err)
 	}
-	// sum forwards through the list: CP schema.
-	if c.Methods["sum"].Required != core.SchemaCP {
-		t.Fatalf("sum schema = %v, want CP", c.Methods["sum"].Required)
+	// sum forwards through the list but never blocks or captures: the
+	// self-forward cycle stays NB (forwarding alone is not a capture).
+	if c.Methods["sum"].Required != core.SchemaNB {
+		t.Fatalf("sum schema = %v, want NB", c.Methods["sum"].Required)
 	}
 	eng := sim.NewEngine(1)
 	rt := core.NewRT(eng, machine.SPARCStation(), c.Prog, core.DefaultHybrid())

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// FrameBounds checks constant frame-slot accesses in method bodies against
+// the declared frame shape (NArgs, NLocals, NFutures): fr.Arg(7) in a
+// method declaring NArgs: 3 is an out-of-bounds access the runtime will
+// only catch by panicking mid-run, and an rt.Invoke result slot or a
+// core.Mask bit at or beyond NFutures corrupts the touch machinery the
+// schemas depend on. Only integer-literal indices are checked; computed
+// indices are outside syntactic reach (the runtime's bounds panics remain
+// the backstop there).
+var FrameBounds = &Analyzer{
+	Name: "framebounds",
+	Doc:  "check constant frame slot accesses against declared NArgs/NLocals/NFutures",
+	Run:  runFrameBounds,
+}
+
+// frAccessors maps fr.<method> names to the size field bounding their
+// integer argument.
+var frAccessors = map[string]string{
+	"Arg":      "NArgs",
+	"Local":    "NLocals",
+	"SetLocal": "NLocals",
+	"Fut":      "NFutures",
+	"FutFull":  "NFutures",
+	"ClearFut": "NFutures",
+}
+
+func runFrameBounds(pass *Pass) error {
+	for _, file := range pass.Files {
+		aliases := coreAliases(file)
+		if len(aliases) == 0 {
+			continue
+		}
+		for _, tl := range file.Decls {
+			fd, ok := tl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &collector{aliases: aliases, frames: map[*ast.FuncLit]*frame{}}
+			c.collect(fd.Body, newFrame(nil))
+			for _, decl := range c.decls {
+				for _, fn := range decl.bodies {
+					checkBounds(pass, aliases, decl, fn)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (d *declInfo) sizeOf(field string) (int, bool) {
+	if d.numUnknown[field] {
+		return 0, false
+	}
+	switch field {
+	case "NArgs":
+		return d.nargs, true
+	case "NLocals":
+		return d.nlocals, true
+	case "NFutures":
+		return d.nfutures, true
+	}
+	return 0, false
+}
+
+func checkBounds(pass *Pass, aliases map[string]bool, d *declInfo, fn *ast.FuncLit) {
+	rtName := paramNamed(aliases, fn, "RT")
+	frName := paramNamed(aliases, fn, "Frame")
+	if frName == "" {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case recv.Name == frName:
+			field, ok := frAccessors[sel.Sel.Name]
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if k, ok := intLit(call.Args[0]); ok {
+				reportIfOut(pass, d, field, k, call.Args[0].Pos(),
+					"fr."+sel.Sel.Name)
+			}
+		case rtName != "" && recv.Name == rtName:
+			switch sel.Sel.Name {
+			case "Invoke":
+				// rt.Invoke(fr, m, target, slot, ...): slot indexes the
+				// calling frame's future cells.
+				if len(call.Args) >= 4 {
+					if k, ok := intLit(call.Args[3]); ok {
+						reportIfOut(pass, d, "NFutures", k, call.Args[3].Pos(),
+							"rt.Invoke result slot")
+					}
+				}
+			case "TouchAll":
+				if len(call.Args) >= 2 {
+					for _, bit := range maskBits(aliases, call.Args[1]) {
+						reportIfOut(pass, d, "NFutures", bit.k, bit.pos,
+							"touch mask bit")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportIfOut(pass *Pass, d *declInfo, field string, k int, pos token.Pos, what string) {
+	bound, ok := d.sizeOf(field)
+	if !ok || k < bound {
+		return
+	}
+	pass.Reportf(pos, "unsound",
+		"method %s: %s uses slot %d but the declaration has %s: %d", d.label(), what, k, field, bound)
+}
+
+// intLit extracts a non-negative integer literal.
+func intLit(e ast.Expr) (int, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	n, err := strconv.Atoi(lit.Value)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+type maskBit struct {
+	k   int
+	pos token.Pos
+}
+
+// maskBits extracts the constant slot numbers of a core.Mask(...) call or a
+// 1<<k shift literal used as a touch mask.
+func maskBits(aliases map[string]bool, e ast.Expr) []maskBit {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := v.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Mask" {
+			return nil
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || !aliases[pkg.Name] {
+			return nil
+		}
+		var bits []maskBit
+		for _, a := range v.Args {
+			if k, ok := intLit(a); ok {
+				bits = append(bits, maskBit{k: k, pos: a.Pos()})
+			}
+		}
+		return bits
+	case *ast.BinaryExpr:
+		if v.Op == token.SHL {
+			if base, ok := intLit(v.X); ok && base == 1 {
+				if k, ok := intLit(v.Y); ok {
+					return []maskBit{{k: k, pos: v.Pos()}}
+				}
+			}
+		}
+	}
+	return nil
+}

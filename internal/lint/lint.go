@@ -1,0 +1,210 @@
+// Package lint implements the schema-declaration verifier: static analysis
+// passes that check the hand-declared analysis inputs of core.Method values
+// (MayBlockLocal, Captures, Calls, Forwards — the facts the paper's global
+// flow analysis would derive, supplied by hand in every Go-authored kernel)
+// against what the method bodies actually do.
+//
+// The API mirrors the golang.org/x/tools/go/analysis shape (Analyzer, Pass,
+// Diagnostic) so the passes read like standard vet checkers, but it is built
+// purely on the standard library: the container this repo builds in has no
+// module proxy, so x/tools cannot be fetched, and the passes work from
+// syntax alone (no go/types — the stdlib importer cannot resolve module
+// paths offline either). The analyses are therefore deliberately
+// conservative: anything they cannot resolve syntactically (a method
+// variable flowing through an unresolvable call, an rt handle escaping into
+// a helper) suppresses the affected checks rather than guessing — the
+// runtime sanitizer (core Config.CheckDecls) is the dynamic backstop for
+// exactly those blind spots.
+//
+// Two diagnostic classes are reported:
+//
+//   - unsound: the body does something its declaration says it cannot
+//     (suspends without MayBlockLocal/Locks, captures without Captures,
+//     invokes or forwards to a method missing from Calls/Forwards). The
+//     schemas selected from such declarations are wrong in the dangerous
+//     direction: a blocking method runs under the Non-blocking schema with
+//     no fallback armed.
+//
+//   - pessimizing: the declaration claims something the body provably never
+//     does (MayBlockLocal with no touch anywhere, Captures with no
+//     CaptureCont, a declared call-graph edge never used). Such
+//     declarations silently forfeit the NB fast path the performance story
+//     depends on.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass provides one package's syntax to an Analyzer and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Dir      string
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos in the given category.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // "unsound" or "pessimizing"
+	Message  string
+}
+
+// Finding is a resolved diagnostic as returned by Run: the position has
+// been resolved against the file set and the originating analyzer recorded.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Category string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s: %s", f.Position, f.Analyzer, f.Category, f.Message)
+}
+
+// ExpandPatterns resolves package patterns to directories containing Go
+// source files. A trailing "/..." walks the tree; other patterns name one
+// directory. testdata directories and dot-directories are skipped, matching
+// the go tool's convention.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) error {
+		if seen[dir] {
+			return nil
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+				return nil
+			}
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := filepath.Clean(rest)
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				return add(path)
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := add(filepath.Clean(pat)); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loadDir parses every non-test Go file of one directory.
+func loadDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Run applies every analyzer to every package named by patterns and returns
+// the findings sorted by position.
+func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
+	dirs, err := ExpandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var findings []Finding
+	for _, dir := range dirs {
+		files, err := loadDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    files,
+				Dir:      dir,
+				Report: func(d Diagnostic) {
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Position: fset.Position(d.Pos),
+						Category: d.Category,
+						Message:  d.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", dir, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var analyzers = []*Analyzer{MethodDecl, FrameBounds}
+
+// wantMarkers scans a fixture for `want:<category>` comments and returns
+// the expected diagnostic count per (line, category).
+func wantMarkers(t *testing.T, path string) map[string]int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`want:(unsound|pessimizing)`)
+	want := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range re.FindAllStringSubmatch(line, -1) {
+			want[fmt.Sprintf("%d:%s", i+1, m[1])]++
+		}
+	}
+	return want
+}
+
+// TestDeclBadFixture: the seeded mis-declarations must each produce exactly
+// the marked diagnostic, in the marked category, on the marked line.
+func TestDeclBadFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "declbad")
+	findings, err := Run(analyzers, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantMarkers(t, filepath.Join(dir, "declbad.go"))
+	got := map[string]int{}
+	for _, f := range findings {
+		got[fmt.Sprintf("%d:%s", f.Position.Line, f.Category)]++
+	}
+	for key, n := range want {
+		if got[key] != n {
+			t.Errorf("line %s: want %d diagnostic(s), got %d", key, n, got[key])
+		}
+	}
+	for key, n := range got {
+		if want[key] != n {
+			t.Errorf("line %s: unexpected diagnostic(s) (%d reported, %d marked)", key, n, want[key])
+		}
+	}
+	if t.Failed() {
+		for _, f := range findings {
+			t.Logf("reported: %s", f)
+		}
+	}
+
+	// The acceptance scenario: both classes present, with positions inside
+	// the fixture and messages naming the method.
+	var unsound, pessimizing bool
+	for _, f := range findings {
+		if !strings.HasSuffix(f.Position.Filename, "declbad.go") {
+			t.Errorf("finding outside the fixture: %s", f)
+		}
+		switch f.Category {
+		case "unsound":
+			unsound = true
+		case "pessimizing":
+			pessimizing = true
+		default:
+			t.Errorf("unknown category %q", f.Category)
+		}
+		if !strings.Contains(f.Message, "bad.") {
+			t.Errorf("message does not name the method: %s", f)
+		}
+	}
+	if !unsound || !pessimizing {
+		t.Fatalf("fixture must produce both classes: unsound=%v pessimizing=%v", unsound, pessimizing)
+	}
+}
+
+// TestDeclBadMessages: spot-check the diagnostic wording the fixture's core
+// bugs should produce.
+func TestDeclBadMessages(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "declbad")
+	findings, err := Run(analyzers, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSub := []string{
+		"bad.sneaky touches futures",
+		"bad.sneaky invokes bad.leaf",
+		"bad.grabber captures its continuation",
+		"bad.shover tail-forwards to bad.leaf",
+		"bad.braggart declares MayBlockLocal",
+		"bad.braggart declares Captures",
+		"bad.braggart declares a Calls edge",
+		"bad.braggart declares a Forwards edge",
+		"bad.oob: fr.SetLocal uses slot 2",
+		"bad.oob: fr.Arg uses slot 3",
+		"bad.oob: rt.Invoke result slot uses slot 4",
+		"bad.oob: touch mask bit uses slot 5",
+	}
+	for _, sub := range wantSub {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding contains %q", sub)
+		}
+	}
+}
+
+// TestDeclGoodFixture: every supported clean idiom must produce zero
+// diagnostics — this is the false-positive guard.
+func TestDeclGoodFixture(t *testing.T) {
+	findings, err := Run(analyzers, []string{filepath.Join("testdata", "src", "declgood")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("false positive: %s", f)
+	}
+}
+
+// TestRepoDeclarationsClean: the analyzers over the real kernels — the same
+// set `make lint` gates in CI — must be quiet. A failure here means either
+// a new declaration bug in an app or a new analyzer false positive.
+func TestRepoDeclarationsClean(t *testing.T) {
+	patterns := []string{
+		filepath.Join("..", "..", "apps") + "/...",
+		filepath.Join("..", "..", "examples") + "/...",
+		filepath.Join("..", "..", "structures"),
+	}
+	findings, err := Run(analyzers, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("declaration issue: %s", f)
+	}
+}
+
+// TestExpandPatterns: the pattern expander must walk trees, skip testdata,
+// and dedupe.
+func TestExpandPatterns(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{"./...", "."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := false
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("testdata not skipped: %s", d)
+		}
+		if d == "." {
+			self = true
+		}
+	}
+	if !self {
+		t.Fatalf("expansion missed the package's own directory: %v", dirs)
+	}
+}

@@ -1,0 +1,99 @@
+// Package declbad seeds schema-declaration bugs for the internal/lint
+// tests: every `want:<category>` marker names a diagnostic the analyzers
+// must report on that line.
+package declbad
+
+import "repro/internal/core"
+
+// BuildBad constructs deliberately mis-declared methods.
+func BuildBad() *core.Program {
+	p := core.NewProgram()
+
+	leaf := &core.Method{Name: "bad.leaf", NArgs: 1}
+	leaf.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		rt.Reply(fr, fr.Arg(0))
+		return core.Done
+	}
+	p.Add(leaf)
+
+	// Unsound: suspends and calls without declaring either fact. The NB
+	// schema derived from this declaration would run with no fallback.
+	sneaky := &core.Method{Name: "bad.sneaky", NArgs: 1, NFutures: 1}
+	sneaky.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, leaf, fr.Self, 0, fr.Arg(0)) // want:unsound
+			fr.PC = 1
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, core.Mask(0)) { // want:unsound
+				return core.Unwound
+			}
+			rt.Reply(fr, fr.Fut(0))
+			return core.Done
+		}
+		panic("bad pc")
+	}
+	p.Add(sneaky)
+
+	// Unsound: captures its continuation without declaring Captures.
+	grabber := &core.Method{Name: "bad.grabber", NArgs: 1}
+	grabber.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := rt.CaptureCont(fr) // want:unsound
+		rt.DeliverCont(fr.Node, c, fr.Arg(0), false)
+		return core.Forwarded
+	}
+	p.Add(grabber)
+
+	// Unsound: tail-forwards to a method missing from Forwards.
+	shover := &core.Method{Name: "bad.shover", NArgs: 1}
+	shover.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		return rt.ForwardTail(fr, leaf, fr.Self, fr.Arg(0)) // want:unsound
+	}
+	p.Add(shover)
+
+	// Pessimizing: claims blocking, capture and call-graph edges its
+	// straight-line body provably never exercises — forfeiting the NB fast
+	// path for nothing.
+	braggart := &core.Method{Name: "bad.braggart", NArgs: 1,
+		MayBlockLocal: true,                 // want:pessimizing
+		Captures:      true,                 // want:pessimizing
+		Calls:         []*core.Method{leaf}, // want:pessimizing
+		Forwards:      []*core.Method{leaf}, // want:pessimizing
+	}
+	braggart.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		rt.Reply(fr, fr.Arg(0))
+		return core.Done
+	}
+	p.Add(braggart)
+
+	// Frame-shape violations: constant slot accesses beyond the declared
+	// sizes (framebounds analyzer).
+	oob := &core.Method{Name: "bad.oob", NArgs: 1, NLocals: 1, NFutures: 1,
+		MayBlockLocal: true, Calls: []*core.Method{leaf}}
+	oob.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		switch fr.PC {
+		case 0:
+			fr.SetLocal(2, fr.Arg(3))                        // want:unsound want:unsound
+			st := rt.Invoke(fr, leaf, fr.Self, 4, fr.Arg(0)) // want:unsound
+			fr.PC = 1
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, core.Mask(0, 5)) { // want:unsound
+				return core.Unwound
+			}
+			rt.Reply(fr, fr.Fut(0))
+			return core.Done
+		}
+		panic("bad pc")
+	}
+	p.Add(oob)
+
+	return p
+}

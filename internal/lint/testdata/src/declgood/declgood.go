@@ -1,0 +1,113 @@
+// Package declgood exercises the declaration idioms the analyzers must NOT
+// flag: multi-way method locals, append-grown edge lists, self-forwarding
+// chains, genuine captures, and bodies that hand rt to helpers (opaque).
+package declgood
+
+import "repro/internal/core"
+
+// Build constructs declaration-clean methods in every supported idiom.
+func Build() *core.Program {
+	p := core.NewProgram()
+
+	a := &core.Method{Name: "good.a", NArgs: 1}
+	a.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		rt.Reply(fr, fr.Arg(0))
+		return core.Done
+	}
+	p.Add(a)
+
+	b := &core.Method{Name: "good.b", NArgs: 1}
+	b.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		rt.Reply(fr, fr.Arg(0))
+		return core.Done
+	}
+	p.Add(b)
+
+	// Multi-way local: the body invokes one of two methods picked at run
+	// time; both are declared, so neither direction is misdeclared.
+	pick := &core.Method{Name: "good.pick", NArgs: 1, NFutures: 1,
+		MayBlockLocal: true, Calls: []*core.Method{a, b}}
+	pick.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		meth := a
+		if fr.Arg(0).Int() > 0 {
+			meth = b
+		}
+		switch fr.PC {
+		case 0:
+			st := rt.Invoke(fr, meth, fr.Self, 0, fr.Arg(0))
+			fr.PC = 1
+			if st == core.NeedUnwind {
+				return rt.Unwind(fr)
+			}
+			fallthrough
+		case 1:
+			if !rt.TouchAll(fr, core.Mask(0)) {
+				return core.Unwound
+			}
+			rt.Reply(fr, fr.Fut(0))
+			return core.Done
+		}
+		panic("bad pc")
+	}
+	p.Add(pick)
+
+	// Forward-only self-chain: Forwards edge, no capture, stays NB.
+	chain := &core.Method{Name: "good.chain", NArgs: 1}
+	chain.Forwards = []*core.Method{chain}
+	chain.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		k := fr.Arg(0).Int()
+		if k == 0 {
+			rt.Reply(fr, core.IntW(0))
+			return core.Done
+		}
+		return rt.ForwardTail(fr, chain, fr.Self, core.IntW(k-1))
+	}
+	p.Add(chain)
+
+	// Genuine capture: declared and performed.
+	gate := &core.Method{Name: "good.gate", NArgs: 1, Captures: true}
+	gate.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		c := rt.CaptureCont(fr)
+		rt.DeliverCont(fr.Node, c, fr.Arg(0), false)
+		return core.Forwarded
+	}
+	p.Add(gate)
+
+	// Opaque body: rt escapes into a helper, so the analyzer must trust
+	// the declarations rather than flag them as pessimizing.
+	mystery := &core.Method{Name: "good.mystery", NArgs: 1,
+		MayBlockLocal: true, Captures: true}
+	mystery.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		return helper(rt, fr)
+	}
+	p.Add(mystery)
+
+	// Append-grown Calls list with a join-style body.
+	fan := &core.Method{Name: "good.fan", NArgs: 1, MayBlockLocal: true}
+	fan.Calls = append(fan.Calls, a)
+	fan.Calls = append(fan.Calls, b)
+	fan.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		switch fr.PC {
+		case 0:
+			rt.Invoke(fr, a, fr.Self, core.JoinDiscard, fr.Arg(0))
+			rt.Invoke(fr, b, fr.Self, core.JoinDiscard, fr.Arg(0))
+			fr.PC = 1
+			fallthrough
+		case 1:
+			if !rt.TouchJoin(fr) {
+				return core.Unwound
+			}
+			rt.Reply(fr, core.IntW(1))
+			return core.Done
+		}
+		panic("bad pc")
+	}
+	p.Add(fan)
+
+	return p
+}
+
+func helper(rt *core.RT, fr *core.Frame) core.Status {
+	rt.Reply(fr, fr.Arg(0))
+	return core.Done
+}
