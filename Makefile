@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-json tables figure9 examples chaos profile cover clean
+.PHONY: all build test lint bench bench-json bench-baseline tables figure9 examples chaos profile cover clean
 
 all: build test
 
@@ -31,6 +31,13 @@ bench:
 # Same benchmarks as machine-readable go-test JSON events, for dashboards.
 bench-json:
 	$(GO) test -bench=. -benchmem -run XXXnone -json ./...
+
+# Perf-trajectory baseline: times table/sweep generation wall-clock serial
+# (-j 1) versus parallel (-j GOMAXPROCS) plus the core microbenchmarks, and
+# writes BENCH_parallel.json ({name, serial_s, parallel_s, workers,
+# speedup} entries). CI runs this reduced cell set so the file stays fresh.
+bench-baseline:
+	$(GO) run ./cmd/benchbaseline -scale small -out BENCH_parallel.json
 
 tables:
 	$(GO) run ./cmd/tables -scale medium

@@ -21,6 +21,7 @@ import (
 	migapp "repro/apps/migrate"
 	"repro/apps/sor"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/machine"
 	policy "repro/internal/migrate"
 	"repro/internal/sim"
@@ -139,4 +140,49 @@ func Kernels(mdl *machine.Model, p Params) []Kernel {
 		mdKernel("MD-migrate static", nil),
 		mdKernel("MD-migrate adaptive", func() core.MigrationPolicy { return policy.DefaultThreshold() }),
 	}
+}
+
+// SweepCell is one (kernel, network) cell of a chaos sweep: the plain
+// unreliable baseline or one reliable run at a given loss rate.
+type SweepCell struct {
+	Kernel   string
+	Network  string // "plain" for the baseline, else e.g. "1.0% loss"
+	Baseline bool
+	Result   RunResult
+}
+
+// Sweep runs, for every kernel, the plain (unreliable, fault-free) baseline
+// plus one reliable run per loss rate — the full Table 8 cell set — fanning
+// the independent runs across `workers` goroutines via the exp runner. Each
+// run builds its own engine, runtime and fault RNG, so cells share no
+// mutable state; the returned slice is in deterministic kernel-major,
+// baseline-first order regardless of worker count.
+func Sweep(kernels []Kernel, seed uint64, losses []float64, workers int) []SweepCell {
+	type spec struct {
+		kernel   int
+		network  string
+		loss     float64
+		baseline bool
+	}
+	specs := make([]spec, 0, len(kernels)*(1+len(losses)))
+	for ki := range kernels {
+		specs = append(specs, spec{kernel: ki, network: "plain", baseline: true})
+		for _, loss := range losses {
+			specs = append(specs, spec{kernel: ki,
+				network: fmt.Sprintf("%.1f%% loss", loss*100), loss: loss})
+		}
+	}
+	results := exp.Map(workers, len(specs), func(i int) RunResult {
+		s := specs[i]
+		if s.baseline {
+			return kernels[s.kernel].Run(nil, false)
+		}
+		return kernels[s.kernel].Run(Faults(seed, s.loss), true)
+	})
+	cells := make([]SweepCell, len(specs))
+	for i, s := range specs {
+		cells[i] = SweepCell{Kernel: kernels[s.kernel].Name, Network: s.network,
+			Baseline: s.baseline, Result: results[i]}
+	}
+	return cells
 }

@@ -66,3 +66,40 @@ func TestChaosUnreliableBaseline(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepParallelDeterministic: the full Table 8 cell set collected at
+// -j 1 and -j 8 must be identical cell for cell — each run builds its own
+// engine, runtime and fault RNG, so worker count cannot perturb a result.
+func TestSweepParallelDeterministic(t *testing.T) {
+	p := smallParams()
+	losses := []float64{0, 0.01}
+	serial := Sweep(Kernels(machine.CM5(), p), 1995, losses, 1)
+	parallel := Sweep(Kernels(machine.CM5(), p), 1995, losses, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("cell counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	wantCells := len(Kernels(machine.CM5(), p)) * (1 + len(losses))
+	if len(serial) != wantCells {
+		t.Fatalf("sweep returned %d cells, want %d", len(serial), wantCells)
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Kernel != b.Kernel || a.Network != b.Network || a.Baseline != b.Baseline {
+			t.Fatalf("cell %d order differs: %+v vs %+v", i, a, b)
+		}
+		if a.Result.Err != nil {
+			t.Fatalf("cell %d (%s, %s): %v", i, a.Kernel, a.Network, a.Result.Err)
+		}
+		if a.Result.Seconds != b.Result.Seconds ||
+			a.Result.Messages != b.Result.Messages ||
+			a.Result.Stats != b.Result.Stats {
+			t.Fatalf("cell %d (%s, %s) differs between -j 1 and -j 8:\n%+v\nvs\n%+v",
+				i, a.Kernel, a.Network, a.Result, b.Result)
+		}
+	}
+	// Kernel-major, baseline-first order is part of the contract: table 8
+	// renders rows straight from this slice.
+	if !serial[0].Baseline || serial[1].Baseline {
+		t.Fatalf("unexpected cell order: %+v", serial[:2])
+	}
+}

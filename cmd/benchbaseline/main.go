@@ -1,0 +1,193 @@
+// Command benchbaseline seeds the perf trajectory: it times the experiment
+// drivers' wall clock serially (-j 1) versus parallel (-j N), runs the core
+// microbenchmarks, and writes the results as BENCH_parallel.json.
+//
+// Usage:
+//
+//	benchbaseline [-out BENCH_parallel.json] [-scale small|medium] [-j N]
+//	              [-reps N] [-micro regex] [-benchtime 200ms] [-skip-micro]
+//
+// Each entry has the schema {name, serial_s, parallel_s, workers, speedup}.
+// Driver entries time `tables -table all` and one sweep per kernel through
+// the internal/exp runner at -j 1 and -j N (best of -reps). Microbenchmark
+// entries record ns/op from `go test -bench` as seconds with workers=1 and
+// speedup=1 — single-run baselines the trajectory can diff against.
+//
+// The speedup column is wall-clock and host-dependent: on an M-core box the
+// driver entries should approach min(M, cells), and `make bench-baseline`
+// regenerates the file in CI so it tracks the current code on a known host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/stats"
+)
+
+// Entry is one line of the perf baseline.
+type Entry struct {
+	Name      string  `json:"name"`
+	SerialS   float64 `json:"serial_s"`
+	ParallelS float64 `json:"parallel_s"`
+	Workers   int     `json:"workers"`
+	Speedup   float64 `json:"speedup"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "output file")
+	scale := flag.String("scale", "small", "problem scale passed to the drivers: small, medium")
+	workers := flag.Int("j", exp.DefaultWorkers(), "parallel worker count for the parallel timing")
+	reps := flag.Int("reps", 1, "repetitions per timing; best (minimum) wall clock is recorded")
+	micro := flag.String("micro", "BenchmarkEventDispatch|BenchmarkHybridStackExecution|BenchmarkParallelHeapExecution|BenchmarkFramePoolCheckout|BenchmarkSolve10k",
+		"microbenchmark regex for `go test -bench`")
+	benchtime := flag.String("benchtime", "200ms", "benchtime for the microbenchmarks")
+	skipMicro := flag.Bool("skip-micro", false, "skip the go test -bench microbenchmarks")
+	flag.Parse()
+
+	tmp, err := os.MkdirTemp("", "benchbaseline")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	tablesBin := filepath.Join(tmp, "tables")
+	sweepBin := filepath.Join(tmp, "sweep")
+	build(tablesBin, "./cmd/tables")
+	build(sweepBin, "./cmd/sweep")
+
+	drivers := []struct {
+		name string
+		bin  string
+		args []string
+	}{
+		{"tables-all", tablesBin, []string{"-scale", *scale}},
+		{"sweep-sor", sweepBin, []string{"-app", "sor", "-scale", *scale}},
+		{"sweep-em3d", sweepBin, []string{"-app", "em3d", "-scale", *scale}},
+		{"sweep-mdforce", sweepBin, []string{"-app", "mdforce", "-scale", *scale}},
+	}
+
+	var entries []Entry
+	for _, d := range drivers {
+		serial := bestOf(*reps, d.bin, append(d.args, "-j", "1"))
+		parallel := bestOf(*reps, d.bin, append(d.args, "-j", strconv.Itoa(*workers)))
+		entries = append(entries, Entry{
+			Name:      d.name,
+			SerialS:   round(serial),
+			ParallelS: round(parallel),
+			Workers:   *workers,
+			Speedup:   round(serial / parallel),
+		})
+	}
+	if !*skipMicro {
+		entries = append(entries, microEntries(*micro, *benchtime)...)
+	}
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	t := stats.Table{
+		Title:   fmt.Sprintf("bench baseline — scale %s, %d workers (wrote %s)", *scale, *workers, *out),
+		Headers: []string{"name", "serial (s)", "parallel (s)", "speedup"},
+	}
+	for _, e := range entries {
+		t.AddRow(e.Name, fmt.Sprintf("%.3f", e.SerialS), fmt.Sprintf("%.3f", e.ParallelS),
+			fmt.Sprintf("%.2f", e.Speedup))
+	}
+	t.Render(os.Stdout)
+}
+
+// build compiles pkg into bin via the go tool.
+func build(bin, pkg string) {
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatal(fmt.Errorf("go build %s: %w", pkg, err))
+	}
+}
+
+// timeRun executes one driver invocation, discarding its (possibly large)
+// stdout, and returns the wall-clock seconds. A nonzero exit is fatal: a
+// baseline over a failed run would be garbage.
+func timeRun(bin string, args []string) float64 {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr
+	start := time.Now()
+	if err := cmd.Run(); err != nil {
+		fatal(fmt.Errorf("%s %v: %w", bin, args, err))
+	}
+	return time.Since(start).Seconds()
+}
+
+// bestOf returns the minimum wall clock over n runs — the standard defense
+// against a noisy neighbor inflating one sample.
+func bestOf(n int, bin string, args []string) float64 {
+	best := timeRun(bin, args)
+	for i := 1; i < n; i++ {
+		if s := timeRun(bin, args); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// benchLine matches `go test -bench` result lines:
+// "BenchmarkFoo-8   12345   987.6 ns/op   ..."
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// microEntries runs the selected microbenchmarks once and records their
+// per-op time. These are single-threaded by nature: serial == parallel.
+func microEntries(pattern, benchtime string) []Entry {
+	pkgs := []string{"./internal/sim", "./internal/core", "./internal/analysis"}
+	args := append([]string{"test", "-run", "^$", "-bench", pattern, "-benchtime", benchtime}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		fatal(fmt.Errorf("go test -bench: %w", err))
+	}
+	var entries []Entry
+	for _, m := range benchLine.FindAllStringSubmatch(string(outBytes), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		s := ns * 1e-9
+		entries = append(entries, Entry{
+			Name: "micro/" + m[1], SerialS: s, ParallelS: s, Workers: 1, Speedup: 1,
+		})
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no microbenchmarks matched %q", pattern))
+	}
+	return entries
+}
+
+// round keeps the JSON readable: milliseconds for wall clocks are plenty,
+// but sub-millisecond per-op times keep their precision.
+func round(s float64) float64 {
+	if s >= 0.001 {
+		return float64(int64(s*1000+0.5)) / 1000
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSweepParallelGolden: the sweep CSV must be byte-identical between
+// -j 1 (the sequential reference) and -j 8 for every kernel — cells are
+// isolated simulations and rows are collected in submission order.
+func TestSweepParallelGolden(t *testing.T) {
+	for _, app := range []string{"sor", "em3d", "mdforce"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			var serial, parallel bytes.Buffer
+			if err := sweep(&serial, app, "small", 1995, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := sweep(&parallel, app, "small", 1995, 8); err != nil {
+				t.Fatal(err)
+			}
+			if serial.String() != parallel.String() {
+				t.Fatalf("%s CSV differs between -j 1 and -j 8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s",
+					app, serial.String(), parallel.String())
+			}
+			lines := strings.Split(strings.TrimRight(serial.String(), "\n"), "\n")
+			if len(lines) < 2 {
+				t.Fatalf("%s: sweep emitted no data rows", app)
+			}
+		})
+	}
+}
+
+// TestSweepUnknownApp: an unknown kernel is an error, not an empty CSV.
+func TestSweepUnknownApp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sweep(&buf, "nope", "small", 1, 1); err == nil {
+		t.Fatal("sweep accepted an unknown app")
+	}
+}

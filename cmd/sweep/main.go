@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	sweep [-app sor|em3d|mdforce] [-scale small|medium] > data.csv
+//	sweep [-app sor|em3d|mdforce] [-scale small|medium] [-j N] > data.csv
+//
+// -j fans the independent cells across N worker goroutines (default
+// GOMAXPROCS) via the internal/exp runner; rows are collected in submission
+// order, so the CSV is byte-identical for any worker count (golden-tested).
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -19,6 +24,7 @@ import (
 	"repro/apps/mdforce"
 	"repro/apps/sor"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/machine"
 )
 
@@ -26,103 +32,140 @@ func main() {
 	app := flag.String("app", "sor", "kernel to sweep: sor, em3d, mdforce")
 	scale := flag.String("scale", "small", "problem scale: small, medium")
 	seed := flag.Int64("seed", 1995, "workload seed")
+	workers := flag.Int("j", exp.DefaultWorkers(), "parallel experiment workers (rows are identical for any value)")
 	flag.Parse()
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	head := []string{"app", "machine", "param", "config", "seconds",
-		"local_frac", "messages", "stack_calls", "heap_ctxs", "fallbacks"}
-	if err := w.Write(head); err != nil {
+	if err := sweep(os.Stdout, *app, *scale, *seed, *workers); err != nil {
 		fatal(err)
 	}
+}
 
-	configs := []struct {
-		name string
-		cfg  core.Config
-	}{
-		{"hybrid", core.DefaultHybrid()},
-		{"parallel", core.ParallelOnly()},
+// configs are the execution-model columns every sweep emits.
+var configs = []struct {
+	name string
+	cfg  func() core.Config
+}{
+	{"hybrid", core.DefaultHybrid},
+	{"parallel", core.ParallelOnly},
+}
+
+// row renders one CSV record from a run's measurements.
+func row(app, mach, param, config string, sec, loc float64,
+	msgs int64, st core.NodeStats) []string {
+	return []string{app, mach, param, config,
+		strconv.FormatFloat(sec, 'g', 8, 64),
+		strconv.FormatFloat(loc, 'g', 5, 64),
+		strconv.FormatInt(msgs, 10),
+		strconv.FormatInt(st.StackCalls, 10),
+		strconv.FormatInt(st.HeapInvokes, 10),
+		strconv.FormatInt(st.Fallbacks, 10),
 	}
+}
+
+// sweep computes the selected cell set — every cell an isolated simulation,
+// fanned across workers — and writes the CSV in deterministic submission
+// order. The csv.Writer's sticky error is checked after the final flush, so
+// a failed write can never produce a truncated file and a zero exit.
+func sweep(outw io.Writer, app, scale string, seed int64, workers int) error {
+	var cells []func() [][]string
 	models := []*machine.Model{machine.CM5(), machine.T3D()}
 
-	emit := func(app, mach, param, config string, sec, loc float64,
-		msgs int64, st core.NodeStats) {
-		row := []string{app, mach, param, config,
-			strconv.FormatFloat(sec, 'g', 8, 64),
-			strconv.FormatFloat(loc, 'g', 5, 64),
-			strconv.FormatInt(msgs, 10),
-			strconv.FormatInt(st.StackCalls, 10),
-			strconv.FormatInt(st.HeapInvokes, 10),
-			strconv.FormatInt(st.Fallbacks, 10),
-		}
-		if err := w.Write(row); err != nil {
-			fatal(err)
-		}
-	}
-
-	switch *app {
+	switch app {
 	case "sor":
 		pr := sor.Params{G: 64, P: 8, Iters: 4}
 		blocks := []int{1, 2, 4, 8}
-		if *scale == "medium" {
+		if scale == "medium" {
 			pr = sor.Params{G: 128, P: 8, Iters: 10}
 			blocks = []int{1, 2, 4, 8, 16}
 		}
 		for _, mdl := range models {
 			for _, b := range blocks {
-				p := pr
-				p.B = b
 				for _, c := range configs {
-					r := sor.Run(mdl, c.cfg, p)
-					emit("sor", mdl.Name, fmt.Sprintf("B=%d", b), c.name,
-						r.Seconds, r.LocalFraction, r.Messages, r.Stats)
+					mdl, b, c := mdl, b, c
+					cells = append(cells, func() [][]string {
+						p := pr
+						p.B = b
+						r := sor.Run(mdl, c.cfg(), p)
+						return [][]string{row("sor", mdl.Name, fmt.Sprintf("B=%d", b), c.name,
+							r.Seconds, r.LocalFraction, r.Messages, r.Stats)}
+					})
 				}
 			}
 		}
 	case "em3d":
-		base := em3d.Params{N: 512, Degree: 8, Iters: 3, Nodes: 16, Seed: *seed}
-		if *scale == "medium" {
-			base = em3d.Params{N: 2048, Degree: 16, Iters: 10, Nodes: 64, Seed: *seed}
+		base := em3d.Params{N: 512, Degree: 8, Iters: 3, Nodes: 16, Seed: seed}
+		if scale == "medium" {
+			base = em3d.Params{N: 2048, Degree: 16, Iters: 10, Nodes: 64, Seed: seed}
 		}
 		for _, mdl := range models {
 			for _, v := range []em3d.Variant{em3d.Pull, em3d.Push, em3d.Forward} {
 				for _, pl := range []float64{0, 0.5, 0.9, 0.99} {
-					p := base
-					p.PLocal = pl
-					g := em3d.Generate(p)
-					for _, c := range configs {
-						r := em3d.Run(mdl, c.cfg, v, g)
-						emit("em3d", mdl.Name,
-							fmt.Sprintf("%s/plocal=%.2f", v, pl), c.name,
-							r.Seconds, r.LocalFraction, r.Messages, r.Stats)
-					}
+					mdl, v, pl := mdl, v, pl
+					// One cell per (machine, variant, locality): the graph is
+					// generated once and shared by both configuration rows.
+					cells = append(cells, func() [][]string {
+						p := base
+						p.PLocal = pl
+						g := em3d.Generate(p)
+						var rows [][]string
+						for _, c := range configs {
+							r := em3d.Run(mdl, c.cfg(), v, g)
+							rows = append(rows, row("em3d", mdl.Name,
+								fmt.Sprintf("%s/plocal=%.2f", v, pl), c.name,
+								r.Seconds, r.LocalFraction, r.Messages, r.Stats))
+						}
+						return rows
+					})
 				}
 			}
 		}
 	case "mdforce":
 		base := mdforce.DefaultParams()
-		base.Seed = *seed
+		base.Seed = seed
 		base.Atoms, base.Clusters, base.Box, base.Nodes = 1500, 32, 48, 16
-		if *scale == "medium" {
+		if scale == "medium" {
 			base.Atoms, base.Clusters, base.Box, base.Nodes = 6000, 128, 96, 64
 		}
 		for _, mdl := range models {
 			for _, scatter := range []float64{0, 0.1, 0.25, 0.5} {
-				p := base
-				p.Scatter = scatter
-				p.Spatial = true
-				inst := mdforce.Generate(p)
-				for _, c := range configs {
-					r := mdforce.Run(mdl, c.cfg, inst)
-					emit("mdforce", mdl.Name,
-						fmt.Sprintf("scatter=%.2f", scatter), c.name,
-						r.Seconds, r.LocalFraction, r.Messages, r.Stats)
-				}
+				mdl, scatter := mdl, scatter
+				cells = append(cells, func() [][]string {
+					p := base
+					p.Scatter = scatter
+					p.Spatial = true
+					inst := mdforce.Generate(p)
+					var rows [][]string
+					for _, c := range configs {
+						r := mdforce.Run(mdl, c.cfg(), inst)
+						rows = append(rows, row("mdforce", mdl.Name,
+							fmt.Sprintf("scatter=%.2f", scatter), c.name,
+							r.Seconds, r.LocalFraction, r.Messages, r.Stats))
+					}
+					return rows
+				})
 			}
 		}
 	default:
-		fatal(fmt.Errorf("unknown app %q", *app))
+		return fmt.Errorf("unknown app %q", app)
 	}
+
+	results := exp.Run(workers, cells)
+
+	w := csv.NewWriter(outw)
+	head := []string{"app", "machine", "param", "config", "seconds",
+		"local_frac", "messages", "stack_calls", "heap_ctxs", "fallbacks"}
+	if err := w.Write(head); err != nil {
+		return err
+	}
+	for _, rows := range results {
+		for _, rec := range rows {
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
 }
 
 func fatal(err error) {

@@ -1,8 +1,7 @@
 package main
 
 import (
-	"io"
-	"os"
+	"bytes"
 	"sync"
 	"testing"
 
@@ -11,26 +10,17 @@ import (
 )
 
 // captureTables runs the given tables at small scale with the current adorn
-// hook and returns everything they printed.
+// hook and worker count, and returns everything they rendered.
 func captureTables(t *testing.T, tables []func(string, int64)) string {
 	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	done := make(chan string)
-	go func() {
-		data, _ := io.ReadAll(r)
-		done <- string(data)
-	}()
+	old := out
+	var buf bytes.Buffer
+	out = &buf
+	defer func() { out = old }()
 	for _, fn := range tables {
 		fn("small", 1995)
 	}
-	w.Close()
-	os.Stdout = old
-	return <-done
+	return buf.String()
 }
 
 // TestTablesZeroPerturbation: every published table must be byte-identical
@@ -98,5 +88,31 @@ func TestTablesCheckDeclsZeroPerturbation(t *testing.T) {
 
 	if plain != checked {
 		t.Fatalf("tables differ with CheckDecls on:\n--- off ---\n%s\n--- on ---\n%s", plain, checked)
+	}
+}
+
+// TestTablesParallelGolden is the experiment runner's golden guarantee:
+// every published table must be byte-identical between -j 1 (the sequential
+// reference execution) and -j 8. Each cell is an isolated deterministic
+// simulation and collection is submission-ordered, so worker count cannot
+// move a byte.
+func TestTablesParallelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every table twice")
+	}
+	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8}
+
+	adorn = nil
+	oldWorkers := workers
+	defer func() { workers = oldWorkers }()
+
+	workers = 1
+	serial := captureTables(t, tables)
+	workers = 8
+	parallel := captureTables(t, tables)
+
+	if serial != parallel {
+		t.Fatalf("tables differ between -j 1 and -j 8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s",
+			serial, parallel)
 	}
 }

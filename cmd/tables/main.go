@@ -8,10 +8,16 @@
 //
 // Usage:
 //
-//	tables [-table all|2|3|4|5|6|7] [-scale small|medium|full] [-seed N]
+//	tables [-table all|2|3|4|5|6|7|8] [-scale small|medium|full] [-seed N] [-j N]
 //
 // -scale medium (default) runs scaled-down problems in seconds; full uses
 // the paper's problem sizes (slow for tables 4 and 6).
+//
+// -j fans the independent simulation cells of each table across N worker
+// goroutines (default GOMAXPROCS) via the internal/exp runner. Each cell
+// is its own deterministic single-threaded simulation, and results are
+// collected in submission order, so -j 1 and -j N output is byte-identical
+// (golden-tested).
 //
 // -profile appends a per-kernel cycle-attribution and critical-path
 // section; -trace-out FILE additionally exports the profiled SOR run as
@@ -27,10 +33,11 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sync"
 
 	"repro/apps/chaos"
 	"repro/apps/em3d"
@@ -40,6 +47,7 @@ import (
 	"repro/apps/seqbench"
 	"repro/apps/sor"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/instr"
 	"repro/internal/machine"
 	policy "repro/internal/migrate"
@@ -49,11 +57,38 @@ import (
 
 // adorn, when non-nil, decorates every execution-model configuration the
 // tables construct before a run — the hook the observability layer and the
-// zero-perturbation golden test use. It is called from the table builders'
-// worker goroutines (tables 4 and 6), so implementations must be safe for
-// concurrent use; installing a fresh per-run registry (as obsv.Metrics
-// requires anyway) satisfies that for free.
+// zero-perturbation golden test use. It is called from the exp runner's
+// worker goroutines, so implementations must be safe for concurrent use;
+// installing a fresh per-run registry (as obsv.Metrics requires anyway)
+// satisfies that for free.
 var adorn func(core.Config) core.Config
+
+// workers is the exp-runner fan-out width for every table's cell set (the
+// -j flag; golden tests set it directly).
+var workers = exp.DefaultWorkers()
+
+// out is where the tables are rendered. main wraps it in a buffered writer
+// whose flush error is checked before exit; the golden tests swap in a
+// bytes.Buffer.
+var out io.Writer = os.Stdout
+var bufOut *bufio.Writer
+
+// flushOut drains the buffered writer, reporting the first write error that
+// occurred anywhere in the run (bufio errors are sticky).
+func flushOut() error {
+	if bufOut == nil {
+		return nil
+	}
+	return bufOut.Flush()
+}
+
+// fatalf flushes whatever rendered cleanly, reports to stderr, and exits
+// nonzero.
+func fatalf(format string, args ...any) {
+	flushOut()
+	fmt.Fprintf(os.Stderr, format, args...)
+	os.Exit(1)
+}
 
 // adorned applies the adorn hook, if any.
 func adorned(c core.Config) core.Config {
@@ -70,6 +105,7 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6, 7, 8")
 	scale := flag.String("scale", "medium", "problem scale: small, medium, full")
 	seed := flag.Int64("seed", 1995, "workload generation seed")
+	flag.IntVar(&workers, "j", exp.DefaultWorkers(), "parallel experiment workers (independent cells per table; output is identical for any value)")
 	profile := flag.Bool("profile", false, "append per-kernel cycle attribution and critical paths")
 	traceOut := flag.String("trace-out", "", "with -profile: write the SOR run as trace_event JSON to FILE")
 	checkDecls := flag.Bool("checkdecls", false, "arm the runtime declaration sanitizer (core.Config.CheckDecls) for every run")
@@ -88,10 +124,21 @@ func main() {
 		}
 	}
 
+	bufOut = bufio.NewWriter(os.Stdout)
+	out = bufOut
+	// A kernel panic (the runtime panics on internal invariant violations)
+	// must not swallow the tables already rendered into the buffer.
+	defer func() {
+		if r := recover(); r != nil {
+			flushOut()
+			panic(r)
+		}
+	}()
+
 	run := func(name string, fn func(string, int64)) {
 		if *table == "all" || *table == name {
 			fn(*scale, *seed)
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
 	ok := false
@@ -115,17 +162,32 @@ func main() {
 	if *profile || *traceOut != "" {
 		profileSection(*scale, *seed, *traceOut)
 	}
+
+	if err := flushOut(); err != nil {
+		fmt.Fprintln(os.Stderr, "tables: write:", err)
+		os.Exit(1)
+	}
 }
 
 // table2 prints the base call and fallback overheads per schema.
 func table2(_ string, _ int64) {
-	for _, mdl := range []*machine.Model{machine.SPARCStation(), machine.CM5(), machine.T3D()} {
-		entries, heapInvoke, remote := overheads.Measure(mdl, adorn)
+	models := []*machine.Model{machine.SPARCStation(), machine.CM5(), machine.T3D()}
+	type cell struct {
+		entries    []overheads.Entry
+		heapInvoke instr.Instr
+		remote     instr.Instr
+	}
+	cells := exp.Map(workers, len(models), func(i int) cell {
+		entries, heapInvoke, remote := overheads.Measure(models[i], adorn)
+		return cell{entries, heapInvoke, remote}
+	})
+	for i, mdl := range models {
+		c := cells[i]
 		t := stats.Table{
 			Title:   fmt.Sprintf("Table 2 — invocation overheads on %s (instructions beyond a C call)", mdl.Name),
 			Headers: []string{"scenario", "caller", "overhead", "kind"},
 		}
-		for _, e := range entries {
+		for _, e := range c.entries {
 			kind := "completes on stack"
 			if e.Fallback {
 				kind = "fallback"
@@ -135,11 +197,11 @@ func table2(_ string, _ int64) {
 			}
 			t.AddRow(e.Scenario, e.Caller, fmt.Sprintf("%d", e.Overhead), kind)
 		}
-		t.AddRow("parallel (heap) invocation", "-", fmt.Sprintf("%d", heapInvoke), "reference")
-		t.AddRow("remote invocation", "-", fmt.Sprintf("%d", remote), "reference")
+		t.AddRow("parallel (heap) invocation", "-", fmt.Sprintf("%d", c.heapInvoke), "reference")
+		t.AddRow("remote invocation", "-", fmt.Sprintf("%d", c.remote), "reference")
 		t.AddNote("paper: sequential calls +6-8, fallbacks 8-140, heap invocation ~130; remote ~10x heap on CM-5")
-		t.Render(os.Stdout)
-		fmt.Println()
+		t.Render(out)
+		fmt.Fprintln(out)
 	}
 }
 
@@ -166,6 +228,12 @@ func table3(scale string, seed int64) {
 		{fmt.Sprintf("qsort(%d)", qsN), func(c core.Config) seqbench.Result { return seqbench.RunQsort(c, int(qsN), seed) }},
 	}
 	cols := seqbench.Columns()
+	// One cell per (program, configuration): every simulated time in the
+	// table computes independently.
+	secs := exp.Map(workers, len(benches)*len(cols), func(i int) float64 {
+		b, c := benches[i/len(cols)], cols[i%len(cols)]
+		return b.run(adorned(c.Cfg)).Seconds
+	})
 	headers := []string{"program"}
 	for _, c := range cols {
 		headers = append(headers, c.Name)
@@ -174,15 +242,15 @@ func table3(scale string, seed int64) {
 		Title:   "Table 3 — sequential execution times (seconds, simulated 33 MHz SPARC)",
 		Headers: headers,
 	}
-	for _, b := range benches {
+	for bi, b := range benches {
 		row := []string{b.name}
-		for _, c := range cols {
-			row = append(row, stats.Seconds(b.run(adorned(c.Cfg)).Seconds))
+		for ci := range cols {
+			row = append(row, stats.Seconds(secs[bi*len(cols)+ci]))
 		}
 		t.AddRow(row...)
 	}
 	t.AddNote("paper: hybrid-3if approaches C; parallel-only several times slower; 3 interfaces up to 30%% faster than CP-only")
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
 // table4 prints the SOR sweep over block-cyclic block sizes.
@@ -200,36 +268,36 @@ func table4(scale string, _ int64) {
 		pr = sor.Params{G: 128, P: 8, Iters: 10}
 		blocks = []int{1, 2, 4, 8, 16}
 	}
-	for _, mdl := range []*machine.Model{machine.CM5(), machine.T3D()} {
+	models := []*machine.Model{machine.CM5(), machine.T3D()}
+	// One cell per (machine, block, config) — the finest independent grain.
+	idx := func(mi, bi, ci int) int { return (mi*len(blocks)+bi)*2 + ci }
+	cells := exp.Map(workers, len(models)*len(blocks)*2, func(i int) sor.Result {
+		mi := i / (len(blocks) * 2)
+		bi := (i / 2) % len(blocks)
+		p := pr
+		p.B = blocks[bi]
+		cfg := cfgHybrid()
+		if i%2 == 1 {
+			cfg = cfgParallel()
+		}
+		return sor.Run(models[mi], cfg, p)
+	})
+	for mi, mdl := range models {
 		t := stats.Table{
 			Title: fmt.Sprintf("Table 4 — SOR %dx%d grid, %d iterations, 64-node %s",
 				pr.G, pr.G, pr.Iters, mdl.Name),
 			Headers: []string{"block", "local:remote", "parallel-only (s)", "hybrid (s)", "speedup"},
 		}
-		type cell struct{ h, par sor.Result }
-		cells := make([]cell, len(blocks))
-		var wg sync.WaitGroup
-		for i, b := range blocks {
-			wg.Add(1)
-			go func(i, b int) {
-				defer wg.Done()
-				p := pr
-				p.B = b
-				cells[i].h = sor.Run(mdl, cfgHybrid(), p)
-				cells[i].par = sor.Run(mdl, cfgParallel(), p)
-			}(i, b)
-		}
-		wg.Wait()
-		for i, b := range blocks {
-			h, par := cells[i].h, cells[i].par
+		for bi, b := range blocks {
+			h, par := cells[idx(mi, bi, 0)], cells[idx(mi, bi, 1)]
 			t.AddRow(fmt.Sprintf("%d", b),
 				stats.Ratio(h.LocalFraction, 1-h.LocalFraction),
 				stats.Seconds(par.Seconds), stats.Seconds(h.Seconds),
 				stats.SpeedupStr(stats.Speedup(par.Seconds, h.Seconds)))
 		}
 		t.AddNote("paper: speedup grows with locality, up to 2.4x; ~1x (CM-5 slightly below) at the lowest-locality point")
-		t.Render(os.Stdout)
-		fmt.Println()
+		t.Render(out)
+		fmt.Fprintln(out)
 	}
 }
 
@@ -245,18 +313,31 @@ func table5(scale string, seed int64) {
 	default:
 		base.Atoms, base.Clusters, base.Box, base.Nodes = 6000, 128, 96, 64
 	}
-	for _, mdl := range []*machine.Model{machine.CM5(), machine.T3D()} {
+	models := []*machine.Model{machine.CM5(), machine.T3D()}
+	spatials := []bool{false, true}
+	// One cell per (machine, layout, config). Instance generation is
+	// deterministic per layout, so regenerating it inside each cell trades a
+	// little repeated work for maximal fan-out.
+	idx := func(mi, si, ci int) int { return (mi*2+si)*2 + ci }
+	cells := exp.Map(workers, len(models)*2*2, func(i int) mdforce.Result {
+		mi := i / 4
+		p := base
+		p.Spatial = spatials[(i/2)%2]
+		inst := mdforce.Generate(p)
+		cfg := cfgHybrid()
+		if i%2 == 1 {
+			cfg = cfgParallel()
+		}
+		return mdforce.Run(models[mi], cfg, inst)
+	})
+	for mi, mdl := range models {
 		t := stats.Table{
 			Title: fmt.Sprintf("Table 5 — MD-Force %d atoms, 1 iteration, %d-node %s",
 				base.Atoms, base.Nodes, mdl.Name),
 			Headers: []string{"layout", "pairs", "local frac", "parallel-only (s)", "hybrid (s)", "speedup"},
 		}
-		for _, spatial := range []bool{false, true} {
-			p := base
-			p.Spatial = spatial
-			inst := mdforce.Generate(p)
-			h := mdforce.Run(mdl, cfgHybrid(), inst)
-			par := mdforce.Run(mdl, cfgParallel(), inst)
+		for si, spatial := range spatials {
+			h, par := cells[idx(mi, si, 0)], cells[idx(mi, si, 1)]
 			name := "random"
 			if spatial {
 				name = "spatial (ORB)"
@@ -267,8 +348,8 @@ func table5(scale string, seed int64) {
 				stats.SpeedupStr(stats.Speedup(par.Seconds, h.Seconds)))
 		}
 		t.AddNote("paper: random 1.03x; spatial 1.43x (CM-5) / 1.52x (T3D)")
-		t.Render(os.Stdout)
-		fmt.Println()
+		t.Render(out)
+		fmt.Fprintln(out)
 	}
 }
 
@@ -295,30 +376,40 @@ func table7(scale string, seed int64) {
 	type variant struct {
 		name   string
 		assign []int
-		policy core.MigrationPolicy
+		// policy builds a fresh policy per run so concurrent cells share
+		// nothing, stateless as the current policies happen to be.
+		policy func() core.MigrationPolicy
 		period core.Instr
 	}
 	variants := []variant{
 		{"static random", randAssign, nil, 0},
 		{"static ORB", orbAssign, nil, 0},
-		{"adaptive (threshold)", randAssign, policy.DefaultThreshold(), 0},
-		{"adaptive (rebalance)", randAssign, policy.DefaultRebalance(), 200_000},
+		{"adaptive (threshold)", randAssign, func() core.MigrationPolicy { return policy.DefaultThreshold() }, 0},
+		{"adaptive (rebalance)", randAssign, func() core.MigrationPolicy { return policy.DefaultRebalance() }, 200_000},
 	}
-	for _, mdl := range []*machine.Model{machine.CM5(), machine.T3D()} {
+	models := []*machine.Model{machine.CM5(), machine.T3D()}
+	// One cell per (machine, variant); the shared instance, reference forces
+	// and assignments are read-only.
+	cells := exp.Map(workers, len(models)*len(variants), func(i int) migapp.Result {
+		v := variants[i%len(variants)]
+		cfg := core.DefaultHybrid()
+		if v.policy != nil {
+			cfg.Migration = v.policy()
+		}
+		cfg.MigrationPeriod = v.period
+		return migapp.Run(models[i/len(variants)], adorned(cfg), inst, base.Iters, v.assign)
+	})
+	for mi, mdl := range models {
 		t := stats.Table{
 			Title: fmt.Sprintf("Table 7 — MD-Force with dynamic migration: %d atoms / %d cells, %d iterations, %d-node %s",
 				base.MD.Atoms, base.MD.Clusters, base.Iters, base.MD.Nodes, mdl.Name),
 			Headers: []string{"placement", "local frac", "msgs", "moves", "fwd hops", "time (s)", "vs random"},
 		}
 		var randSec float64
-		for _, v := range variants {
-			cfg := core.DefaultHybrid()
-			cfg.Migration = v.policy
-			cfg.MigrationPeriod = v.period
-			r := migapp.Run(mdl, adorned(cfg), inst, base.Iters, v.assign)
+		for vi, v := range variants {
+			r := cells[mi*len(variants)+vi]
 			if err := mdforce.MaxRelError(r.Forces, native); err > 1e-9 {
-				fmt.Fprintf(os.Stderr, "table7: %s on %s: force error %g\n", v.name, mdl.Name, err)
-				os.Exit(1)
+				fatalf("table7: %s on %s: force error %g\n", v.name, mdl.Name, err)
 			}
 			if v.policy == nil && v.name == "static random" {
 				randSec = r.Seconds
@@ -332,8 +423,8 @@ func table7(scale string, seed int64) {
 				stats.SpeedupStr(stats.Speedup(randSec, r.Seconds)))
 		}
 		t.AddNote("objects start on the random placement; the adaptive policies relocate cells toward their dominant requesters mid-run")
-		t.Render(os.Stdout)
-		fmt.Println()
+		t.Render(out)
+		fmt.Fprintln(out)
 	}
 }
 
@@ -362,40 +453,30 @@ func table8(scale string, seed int64) {
 			p.Sor.G, p.Sor.G, p.MD.Atoms, mdl.Name),
 		Headers: []string{"kernel", "network", "msgs", "drops", "retx", "dup-supp", "acks", "time (s)", "vs clean"},
 	}
-	for _, k := range chaos.Kernels(mdl, p) {
-		base := k.Run(nil, false)
-		if base.Err != nil {
-			fmt.Fprintf(os.Stderr, "table8: %s baseline: %v\n", k.Name, base.Err)
-			os.Exit(1)
+	cells := chaos.Sweep(chaos.Kernels(mdl, p), uint64(seed), losses, workers)
+	var base chaos.RunResult
+	for _, c := range cells {
+		r := c.Result
+		if r.Err != nil {
+			fatalf("table8: %s at %s: %v\n", c.Kernel, c.Network, r.Err)
 		}
-		addRow := func(network string, r chaos.RunResult) {
-			t.AddRow(k.Name, network,
-				fmt.Sprintf("%d", r.Messages),
-				fmt.Sprintf("%d", r.Stats.DropsSeen),
-				fmt.Sprintf("%d", r.Stats.Retransmits),
-				fmt.Sprintf("%d", r.Stats.DupSuppressed),
-				fmt.Sprintf("%d", r.Stats.AcksSent),
-				stats.Seconds(r.Seconds),
-				stats.SpeedupStr(stats.Speedup(r.Seconds, base.Seconds)))
+		if c.Baseline {
+			base = r
+		} else if ratio := r.Seconds / base.Seconds; ratio > 3 {
+			fatalf("table8: %s at %s: %.2fx the fault-free time, budget is 3x\n",
+				c.Kernel, c.Network, ratio)
 		}
-		addRow("plain", base)
-		for _, loss := range losses {
-			name := fmt.Sprintf("%.1f%% loss", loss*100)
-			r := k.Run(chaos.Faults(uint64(seed), loss), true)
-			if r.Err != nil {
-				fmt.Fprintf(os.Stderr, "table8: %s at %s: %v\n", k.Name, name, r.Err)
-				os.Exit(1)
-			}
-			if ratio := r.Seconds / base.Seconds; ratio > 3 {
-				fmt.Fprintf(os.Stderr, "table8: %s at %s: %.2fx the fault-free time, budget is 3x\n",
-					k.Name, name, ratio)
-				os.Exit(1)
-			}
-			addRow(name, r)
-		}
+		t.AddRow(c.Kernel, c.Network,
+			fmt.Sprintf("%d", r.Messages),
+			fmt.Sprintf("%d", r.Stats.DropsSeen),
+			fmt.Sprintf("%d", r.Stats.Retransmits),
+			fmt.Sprintf("%d", r.Stats.DupSuppressed),
+			fmt.Sprintf("%d", r.Stats.AcksSent),
+			stats.Seconds(r.Seconds),
+			stats.SpeedupStr(stats.Speedup(r.Seconds, base.Seconds)))
 	}
 	t.AddNote("reliable layer on for every swept row; results verified against the native reference at every loss rate")
-	t.Render(os.Stdout)
+	t.Render(out)
 }
 
 // table6 prints the EM3D variant/locality sweep.
@@ -416,43 +497,33 @@ func table6(scale string, seed int64) {
 		{machine.CM5(), 64},
 		{machine.T3D(), 16}, // the paper used a 16-node T3D for EM3D
 	}
-	for _, mc := range machines {
+	variants := []em3d.Variant{em3d.Pull, em3d.Push, em3d.Forward}
+	randoms := []bool{true, false}
+	// One cell per (machine, variant, placement); each cell generates its
+	// graph and runs both configurations over it.
+	type cell struct{ h, par em3d.Result }
+	idx := func(mi, vi, ri int) int { return (mi*len(variants)+vi)*2 + ri }
+	cells := exp.Map(workers, len(machines)*len(variants)*2, func(i int) cell {
+		mc := machines[i/(len(variants)*2)]
+		v := variants[(i/2)%len(variants)]
+		p := base
+		p.Nodes = mc.nodes
+		p.RandomPlacement = randoms[i%2]
+		g := em3d.Generate(p)
+		return cell{
+			h:   em3d.Run(mc.mdl, cfgHybrid(), v, g),
+			par: em3d.Run(mc.mdl, cfgParallel(), v, g),
+		}
+	})
+	for mi, mc := range machines {
 		t := stats.Table{
 			Title: fmt.Sprintf("Table 6 — EM3D %d nodes deg %d, %d iterations, %d-node %s",
 				base.N, base.Degree, base.Iters, mc.nodes, mc.mdl.Name),
 			Headers: []string{"version", "locality", "local frac", "parallel-only (s)", "hybrid (s)", "speedup"},
 		}
-		type key struct {
-			v      em3d.Variant
-			random bool
-		}
-		type cell struct{ h, par em3d.Result }
-		cells := map[key]*cell{}
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		for _, v := range []em3d.Variant{em3d.Pull, em3d.Push, em3d.Forward} {
-			for _, random := range []bool{true, false} {
-				wg.Add(1)
-				go func(v em3d.Variant, random bool) {
-					defer wg.Done()
-					p := base
-					p.Nodes = mc.nodes
-					p.RandomPlacement = random
-					g := em3d.Generate(p)
-					c := &cell{
-						h:   em3d.Run(mc.mdl, cfgHybrid(), v, g),
-						par: em3d.Run(mc.mdl, cfgParallel(), v, g),
-					}
-					mu.Lock()
-					cells[key{v, random}] = c
-					mu.Unlock()
-				}(v, random)
-			}
-		}
-		wg.Wait()
-		for _, v := range []em3d.Variant{em3d.Pull, em3d.Push, em3d.Forward} {
-			for _, random := range []bool{true, false} {
-				c := cells[key{v, random}]
+		for vi, v := range variants {
+			for ri, random := range randoms {
+				c := cells[idx(mi, vi, ri)]
 				loc := "high"
 				if random {
 					loc = "low"
@@ -464,15 +535,16 @@ func table6(scale string, seed int64) {
 			}
 		}
 		t.AddNote("paper: speedups ~1x to ~4x; pull best absolute; forward beats push at low locality on the T3D only")
-		t.Render(os.Stdout)
-		fmt.Println()
+		t.Render(out)
+		fmt.Fprintln(out)
 	}
 }
 
 // profileSection runs one representative configuration of each kernel with
 // the observability layer installed and prints its cycle-attribution table
 // and critical-path breakdown. traceOut, if non-empty, additionally exports
-// the profiled SOR run as Chrome trace_event JSON.
+// the profiled SOR run as Chrome trace_event JSON. Profiled runs stay
+// serial: they exist to be read, not raced.
 func profileSection(scale string, seed int64, traceOut string) {
 	mdl := machine.CM5()
 	secs := func(v int64) float64 { return mdl.Seconds(instr.Instr(v)) }
@@ -482,11 +554,10 @@ func profileSection(scale string, seed int64, traceOut string) {
 		m.Install(&cfg)
 		run(cfg)
 		if err := m.CheckAttribution(); err != nil {
-			fmt.Fprintf(os.Stderr, "profile: %s: %v\n", title, err)
-			os.Exit(1)
+			fatalf("profile: %s: %v\n", title, err)
 		}
-		m.WriteReport(os.Stdout, "cycle attribution — "+title, secs)
-		fmt.Println()
+		m.WriteReport(out, "cycle attribution — "+title, secs)
+		fmt.Fprintln(out)
 		return m
 	}
 
@@ -536,9 +607,8 @@ func profileSection(scale string, seed int64, traceOut string) {
 			}
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "profile: trace-out: %v\n", err)
-			os.Exit(1)
+			fatalf("profile: trace-out: %v\n", err)
 		}
-		fmt.Printf("trace: SOR run -> %s (open in ui.perfetto.dev)\n", traceOut)
+		fmt.Fprintf(out, "trace: SOR run -> %s (open in ui.perfetto.dev)\n", traceOut)
 	}
 }

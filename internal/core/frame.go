@@ -169,7 +169,12 @@ func (p *framePool) checkout(m *Method, node *NodeRT, self Ref, args []Word) *Fr
 	fr.next = nil
 
 	fr.Args = resizeWords(fr.Args, m.NArgs)
-	copy(fr.Args, args)
+	// Zero the tail beyond the supplied args: a recycled frame must not leak
+	// stale argument words from a prior activation when a caller passes
+	// fewer args than the method declares.
+	for i := copy(fr.Args, args); i < len(fr.Args); i++ {
+		fr.Args[i] = 0
+	}
 	fr.Locals = resizeWords(fr.Locals, m.NLocals)
 	for i := range fr.Locals {
 		fr.Locals[i] = 0

@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+// TestRecycledFrameArgsZeroed: checkout resizes Args to the method's
+// declared NArgs but the caller may pass fewer words. A recycled frame must
+// observe zeroed unset args, not the previous activation's words.
+func TestRecycledFrameArgsZeroed(t *testing.T) {
+	m := &Method{Name: "argz", NArgs: 3}
+	var p framePool
+
+	fr := p.checkout(m, nil, NilRef, []Word{7, 8, 9})
+	if fr.Arg(0) != 7 || fr.Arg(1) != 8 || fr.Arg(2) != 9 {
+		t.Fatalf("fresh frame args = %v, want [7 8 9]", fr.Args)
+	}
+	p.release(fr)
+
+	fr2 := p.checkout(m, nil, NilRef, []Word{1})
+	if fr2 != fr {
+		t.Fatal("pool did not recycle the released frame")
+	}
+	if fr2.Arg(0) != 1 {
+		t.Fatalf("arg 0 = %d, want 1", fr2.Arg(0))
+	}
+	if fr2.Arg(1) != 0 || fr2.Arg(2) != 0 {
+		t.Fatalf("recycled frame leaks stale args: %v, want [1 0 0]", fr2.Args)
+	}
+	p.release(fr2)
+
+	// No args at all: every declared slot must read zero.
+	fr3 := p.checkout(m, nil, NilRef, nil)
+	for i := 0; i < m.NArgs; i++ {
+		if fr3.Arg(i) != 0 {
+			t.Fatalf("arg %d = %d on an argless checkout, want 0", i, fr3.Arg(i))
+		}
+	}
+	p.release(fr3)
+}

@@ -76,6 +76,10 @@ type Engine struct {
 	// servicePending counts scheduled service events (periodic ticks that
 	// must not, by themselves, keep the simulation alive).
 	servicePending int
+	// cancelledPending counts stopped timers whose dead events still sit in
+	// the heap; PendingWork subtracts them so cancelled retransmit timers
+	// cannot look like real work.
+	cancelledPending int
 }
 
 // NewEngine creates an engine with n nodes, all clocks at zero.
@@ -142,12 +146,25 @@ func (e *Engine) ScheduleService(at Time, fn func()) {
 
 // Timer is a cancellable scheduled callback (see AfterFunc). The runtime
 // layer uses timers for retransmissions and delayed acks.
-type Timer struct{ stopped bool }
+type Timer struct {
+	eng     *Engine
+	stopped bool
+	fired   bool
+}
 
-// Stop cancels the timer. Stopping an already-fired timer is a no-op. The
-// cancelled event still occupies a heap slot until its time comes, but runs
-// nothing and does not advance any node clock.
-func (t *Timer) Stop() { t.stopped = true }
+// Stop cancels the timer. Stopping an already-fired (or already-stopped)
+// timer is a no-op. The cancelled event still occupies a heap slot until
+// its time comes, but runs nothing, advances no node clock, and no longer
+// counts as pending work: PendingWork excludes cancelled timers, so a
+// stopped retransmit timer cannot spuriously sustain a periodic service
+// past quiescence.
+func (t *Timer) Stop() {
+	if t.stopped || t.fired {
+		return
+	}
+	t.stopped = true
+	t.eng.cancelledPending++
+}
 
 // AfterFunc schedules fn to run after delay (from the current event time)
 // unless the returned timer is stopped first.
@@ -155,11 +172,14 @@ func (e *Engine) AfterFunc(delay Time, fn func()) *Timer {
 	if delay < 0 {
 		delay = 0
 	}
-	t := &Timer{}
+	t := &Timer{eng: e}
 	e.Schedule(e.now+delay, func() {
-		if !t.stopped {
-			fn()
+		if t.stopped {
+			e.cancelledPending--
+			return
 		}
+		t.fired = true
+		fn()
 	})
 	return t
 }
@@ -283,10 +303,14 @@ func (e *Engine) RunUntil(t Time) bool {
 // Pending returns the number of undispatched events.
 func (e *Engine) Pending() int { return e.events.Len() }
 
-// PendingWork returns the number of undispatched non-service events.
-// Periodic services use it to stop rescheduling themselves once the machine
-// is otherwise idle (counting each other would sustain them forever).
-func (e *Engine) PendingWork() int { return e.events.Len() - e.servicePending }
+// PendingWork returns the number of undispatched events that represent real
+// work: service events and cancelled timers are excluded. Periodic services
+// use it to stop rescheduling themselves once the machine is otherwise idle
+// (counting each other — or a dead retransmit timer's heap slot — would
+// sustain them forever).
+func (e *Engine) PendingWork() int {
+	return e.events.Len() - e.servicePending - e.cancelledPending
+}
 
 // Step dispatches a single event, returning false if none remain.
 func (e *Engine) Step() bool {

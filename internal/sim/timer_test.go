@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// TestCancelledTimerNotPendingWork: a stopped timer's dead heap slot must
+// not be reported as pending work.
+func TestCancelledTimerNotPendingWork(t *testing.T) {
+	eng := NewEngine(1)
+	newFifo(eng, 1)
+	tm := eng.AfterFunc(1000, func() { t.Error("cancelled timer fired") })
+	if got := eng.PendingWork(); got != 1 {
+		t.Fatalf("PendingWork = %d before Stop, want 1", got)
+	}
+	tm.Stop()
+	if got := eng.PendingWork(); got != 0 {
+		t.Fatalf("PendingWork = %d after Stop, want 0", got)
+	}
+	tm.Stop() // double-stop must not double-count
+	if got := eng.PendingWork(); got != 0 {
+		t.Fatalf("PendingWork = %d after double Stop, want 0", got)
+	}
+	eng.Run()
+	if got := eng.PendingWork(); got != 0 {
+		t.Fatalf("PendingWork = %d after the dead event drained, want 0", got)
+	}
+}
+
+// TestStopAfterFireIsNoOp: stopping a timer that already fired must not
+// disturb the pending-work accounting of later events.
+func TestStopAfterFireIsNoOp(t *testing.T) {
+	eng := NewEngine(1)
+	newFifo(eng, 1)
+	fired := false
+	tm := eng.AfterFunc(10, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	tm.Stop()
+	eng.Schedule(eng.Now()+5, func() {})
+	if got := eng.PendingWork(); got != 1 {
+		t.Fatalf("PendingWork = %d, want 1 (post-fire Stop must not decrement)", got)
+	}
+	eng.Run()
+}
+
+// TestServiceStopsWithOnlyCancelledTimers is the regression for the
+// satellite bug: cancelled timers used to count toward PendingWork, so a
+// periodic service (migration pump, ack flusher) that reschedules while
+// PendingWork() > 0 would keep ticking until the dead timer's slot drained.
+// With only a cancelled timer outstanding the service must stop after its
+// first tick.
+func TestServiceStopsWithOnlyCancelledTimers(t *testing.T) {
+	eng := NewEngine(1)
+	newFifo(eng, 1)
+	tm := eng.AfterFunc(5000, func() { t.Error("cancelled timer fired") })
+	tm.Stop()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		if eng.PendingWork() > 0 {
+			eng.ScheduleService(eng.Now()+10, tick)
+		}
+	}
+	eng.ScheduleService(10, tick)
+	eng.Run()
+	if ticks != 1 {
+		t.Fatalf("service ticked %d times, want 1: only a cancelled timer was pending", ticks)
+	}
+}
