@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-json bench-baseline tables figure9 examples chaos profile cover clean
+.PHONY: all build test lint bench bench-json bench-baseline tables figure9 examples chaos serve profile cover clean
 
 all: build test
 
@@ -57,6 +57,14 @@ examples:
 chaos:
 	$(GO) test -race -count=1 ./apps/chaos ./internal/sim ./internal/core -run 'Chaos|Fault|Reliable|Stall|Deterministic'
 	$(GO) run ./cmd/tables -table 8 -scale small
+
+# Serving-workload smoke: one verified open-loop run (exactly-once RMWs,
+# tail-latency partition over the p99 stragglers) plus the small Table 9
+# sweep, which cross-checks that the adaptive threshold policy beats static
+# placement on p99 under the hotspot flip.
+serve:
+	$(GO) run ./cmd/concert -app serve -nodes 8 -size 1024 -policy threshold -verify -profile
+	$(GO) run ./cmd/tables -table 9 -scale small
 
 # Observability smoke: a profiled kernel run with cycle attribution, the
 # critical path, and a Perfetto trace_event export (validated by the binary

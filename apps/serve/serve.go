@@ -1,0 +1,338 @@
+// Package serve is the open-loop serving workload (Table 9): an RPC-style
+// request/reply application driven by internal/load's seeded traffic
+// generator instead of a fixed input, evaluated on tail latency and SLO
+// attainment instead of speedup.
+//
+// Each node hosts one frontend object; millions of keyed KV objects are
+// block-placed across the machine (key k lives on node k*Nodes/Keys). A
+// request arrives at its frontend at the modeled arrival time — scheduled as
+// an engine event, so a backed-up frontend queues requests rather than
+// slowing the arrival process (open loop) — and fans its keyed operations
+// out through the ordinary method-invocation machinery: local keys run on
+// the speculative stack, remote keys become request messages whose read/rmw
+// bodies the owner can run as wrappers straight from the buffer. The
+// frontend joins all replies and stamps the request done.
+//
+// The load generator centers each frontend's Zipf hot set inside its own
+// block of the keyspace, so before a hotspot flip most traffic is local;
+// the flip relocates every frontend's hot set into a block owned by another
+// node. Offered load that a mostly-local system absorbs easily then exceeds
+// the mostly-remote system's capacity, queueing delay accumulates, and the
+// tail explodes — unless an adaptive migration policy moves the now-hot
+// objects to their new requesters. That recovery (or its absence) is what
+// Table 9 measures.
+package serve
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/instr"
+	"repro/internal/load"
+	"repro/internal/machine"
+	policy "repro/internal/migrate"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// KV is one keyed object: the unit of placement and migration.
+type KV struct {
+	Val int64
+}
+
+// Front is a per-node frontend: the arrival point for requests. Its only
+// state is the shared workload harness, which owns the request log and the
+// latency accounting.
+type Front struct {
+	app *App
+}
+
+// App is the run-wide harness shared by every frontend: the generated
+// requests, the key->object table, and the completion accounting. Method
+// bodies reach it through their frontend's state, never through the
+// runtime config, so bodies stay analyzable.
+type App struct {
+	reqs []load.Req
+	refs []core.Ref
+
+	hist   stats.LatencyHist
+	slo    int64
+	sloOK  int64
+	done   int64
+	tracer core.Tracer
+}
+
+// complete stamps one request finished on its frontend's clock.
+func (a *App) complete(n *core.NodeRT, rq *load.Req) {
+	now := int64(n.Sim.Clock)
+	a.hist.Add(now - rq.At)
+	if now-rq.At <= a.slo {
+		a.sloOK++
+	}
+	a.done++
+	if a.tracer != nil {
+		a.tracer.Record(n.ID, n.Sim.Clock, uint8(trace.KReqDone), "serve.request", int64(rq.ID))
+	}
+}
+
+// Methods bundles the serving program.
+type Methods struct {
+	Prog    *core.Program
+	Request *core.Method
+
+	read *core.Method
+	rmw  *core.Method
+
+	readW, rmwW instr.Instr
+}
+
+// Build registers the methods with the given per-operation body costs.
+func Build(readWork, rmwWork instr.Instr) *Methods {
+	p := core.NewProgram()
+	m := &Methods{Prog: p, readW: readWork, rmwW: rmwWork}
+
+	// read(): return the key's value.
+	m.read = &core.Method{Name: "serve.read"}
+	m.read.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		kv := fr.Node.State(fr.Self).(*KV)
+		rt.Work(fr, m.readW)
+		rt.Reply(fr, core.IntW(kv.Val))
+		return core.Done
+	}
+	p.Add(m.read)
+
+	// rmw(delta): read-modify-write the key's value.
+	m.rmw = &core.Method{Name: "serve.rmw", NArgs: 1}
+	m.rmw.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		kv := fr.Node.State(fr.Self).(*KV)
+		kv.Val += fr.Arg(0).Int()
+		rt.Work(fr, m.rmwW)
+		rt.Reply(fr, core.IntW(kv.Val))
+		return core.Done
+	}
+	p.Add(m.rmw)
+
+	// request(id): fan the request's keyed operations out, join the
+	// replies, stamp the request complete.
+	m.Request = &core.Method{Name: "serve.request", NArgs: 1, NLocals: 1,
+		MayBlockLocal: true, Calls: []*core.Method{m.read, m.rmw}}
+	m.Request.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		f := fr.Node.State(fr.Self).(*Front)
+		a := f.app
+		rq := &a.reqs[fr.Arg(0).Int()]
+		switch fr.PC {
+		case 0:
+			fr.PC = 1
+			fallthrough
+		case 1:
+			for {
+				i := int(fr.Local(0).Int())
+				if i >= len(rq.Keys) {
+					break
+				}
+				fr.SetLocal(0, core.IntW(int64(i+1)))
+				ref := a.refs[rq.Keys[i]]
+				var st core.CallStatus
+				if rq.RMW&(1<<uint(i)) != 0 {
+					st = rt.Invoke(fr, m.rmw, ref, core.JoinDiscard, core.IntW(1))
+				} else {
+					st = rt.Invoke(fr, m.read, ref, core.JoinDiscard)
+				}
+				if st == core.NeedUnwind {
+					return rt.Unwind(fr)
+				}
+			}
+			fr.PC = 2
+			fallthrough
+		case 2:
+			if !rt.TouchJoin(fr) {
+				return core.Unwound
+			}
+			a.complete(fr.Node, rq)
+			rt.Reply(fr, 0)
+			return core.Done
+		}
+		panic("serve.request: bad pc")
+	}
+	p.Add(m.Request)
+	return m
+}
+
+// Params configures one serving run.
+type Params struct {
+	Nodes int
+	Keys  int // must be a multiple of Nodes (block placement)
+	// Load drives arrivals; its Keys and Frontends fields are overridden
+	// with Keys and Nodes.
+	Load     load.Params
+	ReadWork instr.Instr // useful work per read body
+	RMWWork  instr.Instr // useful work per read-modify-write body
+	SLO      int64       // latency budget in virtual instructions
+}
+
+// DefaultParams returns the reference (small/CI) Table 9 workload: 8 nodes,
+// a 1024-key space, four keyed operations per request at YCSB-like skew,
+// offered load sized so the mostly-local pre-flip system runs comfortably
+// while the mostly-remote post-flip system saturates, and a half-keyspace
+// hotspot flip at 40% of the horizon. Larger scales stretch Keys and
+// Horizon (see cmd/tables).
+func DefaultParams(seed int64) Params {
+	return Params{
+		Nodes:    8,
+		Keys:     1024,
+		ReadWork: 300,
+		RMWWork:  400,
+		SLO:      20_000,
+		Load: load.Params{
+			Seed:      uint64(seed),
+			Horizon:   2_000_000,
+			MeanGap:   600,
+			Theta:     0.9,
+			OpsPerReq: 4,
+			RMWFrac:   0.25,
+			Flips:     []load.Flip{{AtFrac: 0.4, Shift: 0.5}},
+		},
+	}
+}
+
+// Serving-tuned migration policies. The defaults in internal/migrate are
+// tuned for iterative kernels whose traffic is stationary; serving traffic
+// under a hotspot flip is the opposite, and the object access counters
+// never decay, so a hot key enters the post-flip world with a large
+// co-resident hit count from its pre-flip life. Alpha below 1 makes the
+// hysteresis test "the new remote requester is comparable to the old local
+// traffic" rather than "half again bigger", which is the right question
+// when the flip inverts who is local. MinTop stays low because per-key
+// counts at CI scale are hundreds, not thousands, and MaxSkew is loose
+// because the flip's key exchange is symmetric — every node both sheds and
+// gains hot keys, so transient imbalance self-corrects.
+
+// ThresholdPolicy returns the reactive serving policy.
+func ThresholdPolicy() core.MigrationPolicy {
+	return &policy.Threshold{MinTop: 16, Alpha: 0.5, MaxSkew: 16, MaxMoves: 2}
+}
+
+// RebalancePeriod is the heartbeat interval to use with RebalancePolicy.
+const RebalancePeriod core.Instr = 100_000
+
+// RebalancePolicy returns the periodic serving policy.
+func RebalancePolicy() core.MigrationPolicy {
+	return &policy.Rebalance{MinTop: 16, Alpha: 0.5, MaxSkew: 16, MaxMoves: 2, MaxMovesPerTick: 8}
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Requests int
+	Ops      int64
+	RMWs     int64 // read-modify-writes issued by the generator
+	Applied  int64 // read-modify-writes present in final KV state
+	Hist     *stats.LatencyHist
+	P50      int64
+	P99      int64
+	P999     int64
+	SLOFrac  float64 // fraction of requests inside the SLO budget
+	Seconds  float64 // parallel completion time
+	LocalFraction float64
+	Messages int64
+	Moves    int64 // objects migrated during the run
+	Stats    core.NodeStats
+	Counters instr.Counters
+}
+
+// Run executes the serving workload under cfg (whose Migration field selects
+// the placement policy, nil for static) and returns the latency results.
+// Each RMW adds exactly 1, so Applied == RMWs verifies every operation
+// executed exactly once — the check that matters under a lossy network with
+// the reliable layer on.
+func Run(mdl *machine.Model, cfg core.Config, p Params) Result {
+	if p.Nodes <= 0 || p.Keys <= 0 || p.Keys%p.Nodes != 0 {
+		panic(fmt.Sprintf("serve: Keys=%d must be a positive multiple of Nodes=%d", p.Keys, p.Nodes))
+	}
+	m := Build(p.ReadWork, p.RMWWork)
+	if err := m.Prog.Resolve(cfg.Interfaces); err != nil {
+		panic(err)
+	}
+	lp := p.Load
+	lp.Keys = p.Keys
+	lp.Frontends = p.Nodes
+
+	eng := sim.NewEngine(p.Nodes)
+	rt := core.NewRT(eng, mdl, m.Prog, cfg)
+
+	app := &App{slo: p.SLO, tracer: cfg.Tracer}
+	kvs := make([]*KV, p.Keys)
+	app.refs = make([]core.Ref, p.Keys)
+	for k := range kvs {
+		kvs[k] = &KV{}
+		app.refs[k] = rt.Node(k * p.Nodes / p.Keys).NewObject(kvs[k])
+	}
+	fronts := make([]core.Ref, p.Nodes)
+	for f := range fronts {
+		fronts[f] = rt.Node(f).NewObject(&Front{app: app})
+	}
+
+	// Arrivals are chained engine events: each one starts its request as a
+	// fresh root on the frontend (open loop: the start is unconditional, no
+	// matter how far behind the frontend is) and schedules the next arrival.
+	// Chaining keeps the event heap at one pending arrival instead of the
+	// whole trace.
+	gen := load.New(lp)
+	var ops, rmws int64
+	var inject func(rq load.Req)
+	inject = func(rq load.Req) {
+		app.reqs = append(app.reqs, rq)
+		ops += int64(len(rq.Keys))
+		rmws += int64(bits.OnesCount64(rq.RMW))
+		eng.Schedule(instr.Instr(rq.At), func() {
+			if app.tracer != nil {
+				app.tracer.Record(rq.Front, instr.Instr(rq.At), uint8(trace.KReqArrive),
+					"serve.request", int64(rq.ID))
+			}
+			rt.StartOn(rq.Front, m.Request, fronts[rq.Front], nil, core.IntW(int64(rq.ID)))
+			if nxt, ok := gen.Next(); ok {
+				inject(nxt)
+			}
+		})
+	}
+	if rq, ok := gen.Next(); ok {
+		inject(rq)
+	}
+
+	rt.Run()
+	if err := rt.CheckQuiescence(); err != nil {
+		panic(err)
+	}
+	if app.done != int64(len(app.reqs)) {
+		panic(fmt.Sprintf("serve: %d of %d requests completed", app.done, len(app.reqs)))
+	}
+
+	var applied int64
+	for _, kv := range kvs {
+		applied += kv.Val
+	}
+	st := rt.TotalStats()
+	res := Result{
+		Requests:      len(app.reqs),
+		Ops:           ops,
+		RMWs:          rmws,
+		Applied:       applied,
+		Hist:          &app.hist,
+		Seconds:       mdl.Seconds(eng.MaxClock()),
+		Messages:      eng.TotalMessages(),
+		Moves:         st.MigratesOut,
+		Stats:         st,
+		Counters:      eng.TotalCounters(),
+	}
+	if total := st.LocalInvokes + st.RemoteInvokes; total > 0 {
+		res.LocalFraction = float64(st.LocalInvokes) / float64(total)
+	}
+	if app.hist.Count() > 0 {
+		res.P50 = app.hist.Quantile(0.50)
+		res.P99 = app.hist.Quantile(0.99)
+		res.P999 = app.hist.Quantile(0.999)
+		res.SLOFrac = float64(app.sloOK) / float64(len(app.reqs))
+	}
+	return res
+}

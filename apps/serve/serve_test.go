@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/apps/chaos"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obsv"
+)
+
+// scalars strips the Result down to its comparable fields (the Hist pointer
+// aside, everything is a value).
+func scalars(r Result) Result {
+	r.Hist = nil
+	return r
+}
+
+func TestDeterministic(t *testing.T) {
+	mdl := machine.CM5()
+	p := DefaultParams(1995)
+	cfg := core.DefaultHybrid()
+	cfg.Migration = ThresholdPolicy()
+	a := Run(mdl, cfg, p)
+	cfg.Migration = ThresholdPolicy()
+	b := Run(mdl, cfg, p)
+	if scalars(a) != scalars(b) {
+		t.Fatalf("same Params produced different results:\n%+v\n%+v", scalars(a), scalars(b))
+	}
+	if *a.Hist != *b.Hist {
+		t.Fatal("same Params produced different latency histograms")
+	}
+	if a.Requests == 0 || a.Ops == 0 {
+		t.Fatalf("empty run: %+v", scalars(a))
+	}
+}
+
+// TestExactlyOnce: every generated read-modify-write (each adds exactly 1)
+// is present in the final KV state exactly once.
+func TestExactlyOnce(t *testing.T) {
+	r := Run(machine.CM5(), core.DefaultHybrid(), DefaultParams(1995))
+	if r.RMWs == 0 || r.Applied != r.RMWs {
+		t.Fatalf("applied %d of %d issued RMWs", r.Applied, r.RMWs)
+	}
+}
+
+// TestObservabilityZeroPerturbation: installing the metrics registry must
+// not change the simulated results, the attribution must be exact, and the
+// registry's request-latency histogram must agree with the app's own,
+// sample for sample.
+func TestObservabilityZeroPerturbation(t *testing.T) {
+	mdl := machine.CM5()
+	p := DefaultParams(1995)
+
+	cfg := core.DefaultHybrid()
+	cfg.Migration = ThresholdPolicy()
+	bare := Run(mdl, cfg, p)
+
+	m := obsv.New()
+	cfg = core.DefaultHybrid()
+	cfg.Migration = ThresholdPolicy()
+	m.Install(&cfg)
+	observed := Run(mdl, cfg, p)
+
+	if scalars(bare) != scalars(observed) {
+		t.Fatalf("observability perturbed the run:\n%+v\n%+v", scalars(bare), scalars(observed))
+	}
+	if err := m.CheckAttribution(); err != nil {
+		t.Fatal(err)
+	}
+	if *m.RequestLatencies() != *observed.Hist {
+		t.Fatal("registry request-latency histogram differs from the app's")
+	}
+	if got := len(m.Requests()); got != observed.Requests {
+		t.Fatalf("registry retained %d request records, run completed %d", got, observed.Requests)
+	}
+
+	// The tail partition must explain each straggler's whole span exactly.
+	tail := m.TailRequests(0.99)
+	if len(tail) == 0 {
+		t.Fatal("no tail requests at p99")
+	}
+	for _, rq := range tail[:3] {
+		pr := m.PartitionRequest(rq)
+		if pr.Total != rq.Done-rq.Arrive {
+			t.Fatalf("partition total %d != request span %d", pr.Total, rq.Done-rq.Arrive)
+		}
+		if sum := pr.Compute + pr.Network + pr.FutureWait + pr.LockWait + pr.Idle; sum != pr.Total {
+			t.Fatalf("partition does not sum: %d != %d (%+v)", sum, pr.Total, pr)
+		}
+	}
+}
+
+// TestAdaptiveBeatsStaticP99 is Table 9's headline claim: under a hotspot
+// flip, the adaptive policies repair locality mid-run and cut the p99 well
+// below static placement, with better SLO attainment.
+func TestAdaptiveBeatsStaticP99(t *testing.T) {
+	mdl := machine.CM5()
+	p := DefaultParams(1995)
+
+	static := Run(mdl, core.DefaultHybrid(), p)
+
+	cfg := core.DefaultHybrid()
+	cfg.Migration = ThresholdPolicy()
+	thresh := Run(mdl, cfg, p)
+
+	cfg = core.DefaultHybrid()
+	cfg.Migration = RebalancePolicy()
+	cfg.MigrationPeriod = RebalancePeriod
+	rebal := Run(mdl, cfg, p)
+
+	if thresh.Moves == 0 || rebal.Moves == 0 {
+		t.Fatalf("adaptive policies moved nothing: threshold %d, rebalance %d", thresh.Moves, rebal.Moves)
+	}
+	// Require a clear margin, not a tie: the flip roughly doubles static's
+	// tail, and migration should recover most of it.
+	if float64(thresh.P99) > 0.8*float64(static.P99) {
+		t.Fatalf("threshold p99 %d vs static %d: no clear win", thresh.P99, static.P99)
+	}
+	if float64(rebal.P99) > 0.8*float64(static.P99) {
+		t.Fatalf("rebalance p99 %d vs static %d: no clear win", rebal.P99, static.P99)
+	}
+	if thresh.SLOFrac <= static.SLOFrac {
+		t.Fatalf("threshold SLO %.3f did not beat static %.3f", thresh.SLOFrac, static.SLOFrac)
+	}
+}
+
+// TestChaosReliable: on a lossy, stalling, browning-out network with the
+// reliable layer on, every request still completes and every RMW applies
+// exactly once — drops surface as tail latency, not lost or doubled writes.
+func TestChaosReliable(t *testing.T) {
+	cfg := core.DefaultHybrid()
+	cfg.Faults = chaos.Faults(7, 0.01)
+	cfg.Reliable = true
+	cfg.Migration = ThresholdPolicy()
+	r := Run(machine.CM5(), cfg, DefaultParams(1995))
+	if r.Applied != r.RMWs {
+		t.Fatalf("under faults: applied %d of %d issued RMWs", r.Applied, r.RMWs)
+	}
+	if r.Stats.DropsSeen == 0 || r.Stats.Retransmits == 0 {
+		t.Fatalf("fault injection inert: drops=%d retx=%d", r.Stats.DropsSeen, r.Stats.Retransmits)
+	}
+}

@@ -8,10 +8,11 @@
 //	              [-reps N] [-micro regex] [-benchtime 200ms] [-skip-micro]
 //
 // Each entry has the schema {name, serial_s, parallel_s, workers, speedup}.
-// Driver entries time `tables -table all` and one sweep per kernel through
-// the internal/exp runner at -j 1 and -j N (best of -reps). Microbenchmark
-// entries record ns/op from `go test -bench` as seconds with workers=1 and
-// speedup=1 — single-run baselines the trajectory can diff against.
+// Driver entries time `tables -table all`, the Table 9 serving workload, and
+// one sweep per kernel through the internal/exp runner at -j 1 and -j N
+// (best of -reps). Microbenchmark entries record ns/op from `go test -bench`
+// as seconds with workers=1 and speedup=1 — single-run baselines the
+// trajectory can diff against.
 //
 // The speedup column is wall-clock and host-dependent: on an M-core box the
 // driver entries should approach min(M, cells), and `make bench-baseline`
@@ -46,7 +47,7 @@ type Entry struct {
 func main() {
 	out := flag.String("out", "BENCH_parallel.json", "output file")
 	scale := flag.String("scale", "small", "problem scale passed to the drivers: small, medium")
-	workers := flag.Int("j", exp.DefaultWorkers(), "parallel worker count for the parallel timing")
+	workers := flag.Int("j", defaultJ(), "parallel worker count for the parallel timing")
 	reps := flag.Int("reps", 1, "repetitions per timing; best (minimum) wall clock is recorded")
 	micro := flag.String("micro", "BenchmarkEventDispatch|BenchmarkHybridStackExecution|BenchmarkParallelHeapExecution|BenchmarkFramePoolCheckout|BenchmarkSolve10k",
 		"microbenchmark regex for `go test -bench`")
@@ -71,6 +72,7 @@ func main() {
 		args []string
 	}{
 		{"tables-all", tablesBin, []string{"-scale", *scale}},
+		{"tables-9-serve", tablesBin, []string{"-table", "9", "-scale", *scale}},
 		{"sweep-sor", sweepBin, []string{"-app", "sor", "-scale", *scale}},
 		{"sweep-em3d", sweepBin, []string{"-app", "em3d", "-scale", *scale}},
 		{"sweep-mdforce", sweepBin, []string{"-app", "mdforce", "-scale", *scale}},
@@ -109,6 +111,17 @@ func main() {
 			fmt.Sprintf("%.2f", e.Speedup))
 	}
 	t.Render(os.Stdout)
+}
+
+// defaultJ picks the parallel width: the exp runner's default (GOMAXPROCS),
+// but never below 2 — on a single-CPU host the "parallel" timing would
+// otherwise silently repeat the serial run and record workers as 1, making
+// the speedup column meaningless.
+func defaultJ() int {
+	if n := exp.DefaultWorkers(); n > 2 {
+		return n
+	}
+	return 2
 }
 
 // build compiles pkg into bin via the go tool.

@@ -12,11 +12,16 @@
 //	concert -app em3d    [-machine ...] [-mode ...] [-nodes N] [-size graphnodes]
 //	                     [-variant pull|push|forward] [-layout random|blocked]
 //	                     [-degree D] [-iters I]
+//	concert -app serve   [-machine ...] [-mode ...] [-nodes N] [-size keys]
+//	                     [-rate REQ/S] [-duration-ms MS] [-slo-us US]
+//	                     [-policy none|threshold|rebalance] [-loss P]
 //
 // Add -verify to cross-check the simulated result against the native Go
-// reference implementation. Add -profile for the per-method cycle
-// attribution table and the critical-path breakdown, and -trace-out FILE
-// to export the run as Chrome trace_event JSON for ui.perfetto.dev.
+// reference implementation (for serve: every read-modify-write applied
+// exactly once). Add -profile for the per-method cycle attribution table
+// and the critical-path breakdown (for serve, additionally the aggregated
+// compute/network/wait partition of the p99 tail requests), and -trace-out
+// FILE to export the run as Chrome trace_event JSON for ui.perfetto.dev.
 package main
 
 import (
@@ -26,8 +31,10 @@ import (
 	"math"
 	"os"
 
+	"repro/apps/chaos"
 	"repro/apps/em3d"
 	"repro/apps/mdforce"
+	"repro/apps/serve"
 	"repro/apps/sor"
 	"repro/internal/core"
 	"repro/internal/instr"
@@ -36,7 +43,7 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "sor", "kernel: sor, mdforce, em3d")
+	app := flag.String("app", "sor", "kernel: sor, mdforce, em3d, serve")
 	machineName := flag.String("machine", "cm5", "machine model: cm5, t3d, sparc")
 	mode := flag.String("mode", "hybrid", "execution model: hybrid, parallel")
 	interfaces := flag.Int("interfaces", 3, "sequential interfaces for hybrid mode: 1, 2 or 3")
@@ -48,6 +55,11 @@ func main() {
 	variant := flag.String("variant", "pull", "em3d: pull, push, forward")
 	degree := flag.Int("degree", 16, "em3d: in-degree")
 	seed := flag.Int64("seed", 1995, "workload seed")
+	rate := flag.Float64("rate", 0, "serve: offered load in requests/second (0 = default)")
+	durationMS := flag.Float64("duration-ms", 0, "serve: traffic horizon in simulated milliseconds (0 = default)")
+	sloUS := flag.Float64("slo-us", 0, "serve: latency SLO in microseconds (0 = default)")
+	policyName := flag.String("policy", "none", "serve: placement policy: none, threshold, rebalance")
+	loss := flag.Float64("loss", 0, "serve: message-loss rate; > 0 injects faults and enables the reliable layer")
 	verify := flag.Bool("verify", false, "check the result against the native reference")
 	profile := flag.Bool("profile", false, "print per-method cycle attribution and the critical path")
 	traceOut := flag.String("trace-out", "", "write the run as Chrome trace_event JSON to FILE")
@@ -140,6 +152,51 @@ func main() {
 			want := em3d.Native(g)
 			verdict(r.Checksum == want, fmt.Sprintf("checksum %v vs native %v", r.Checksum, want))
 		}
+	case "serve":
+		p := serve.DefaultParams(*seed)
+		p.Nodes = *nodes
+		if *size > 0 {
+			p.Keys = *size
+		}
+		// User-facing units are wall-clock at the machine's clock rate; the
+		// generator wants virtual instructions.
+		perSec := mdl.MHz * 1e6
+		if *rate > 0 {
+			p.Load.MeanGap = perSec / *rate
+		}
+		if *durationMS > 0 {
+			p.Load.Horizon = int64(*durationMS / 1e3 * perSec)
+		}
+		if *sloUS > 0 {
+			p.SLO = int64(*sloUS / 1e6 * perSec)
+		}
+		switch *policyName {
+		case "none":
+		case "threshold":
+			cfg.Migration = serve.ThresholdPolicy()
+		case "rebalance":
+			cfg.Migration = serve.RebalancePolicy()
+			cfg.MigrationPeriod = serve.RebalancePeriod
+		default:
+			fatalf("unknown serve policy %q", *policyName)
+		}
+		if *loss > 0 {
+			cfg.Faults = chaos.Faults(uint64(*seed), *loss)
+			cfg.Reliable = true
+		}
+		r := serve.Run(mdl, cfg, p)
+		us := func(v int64) float64 { return mdl.Seconds(instr.Instr(v)) * 1e6 }
+		fmt.Printf("requests: %d   ops: %d   rmws: %d   moves: %d\n", r.Requests, r.Ops, r.RMWs, r.Moves)
+		fmt.Printf("latency: p50 %.0f us   p99 %.0f us   p999 %.0f us   SLO(<=%.0f us): %.1f%%\n",
+			us(r.P50), us(r.P99), us(r.P999), us(p.SLO), 100*r.SLOFrac)
+		report(mdl, r.Seconds, r.LocalFraction, r.Messages, r.Stats, r.Counters)
+		if *verify {
+			verdict(r.Applied == r.RMWs,
+				fmt.Sprintf("%d of %d RMWs applied exactly once", r.Applied, r.RMWs))
+		}
+		if metrics != nil && *profile {
+			tailPartition(metrics, mdl)
+		}
 	default:
 		fatalf("unknown app %q", *app)
 	}
@@ -147,6 +204,31 @@ func main() {
 	if metrics != nil {
 		finishObservability(metrics, mdl, *app, *profile, *traceOut)
 	}
+}
+
+// tailPartition aggregates the critical-path partitions of every p99-tail
+// request and prints the combined split: how much of the stragglers' time
+// was compute, network flight, or waiting.
+func tailPartition(m *obsv.Metrics, mdl *machine.Model) {
+	tail := m.TailRequests(0.99)
+	if len(tail) == 0 {
+		return
+	}
+	sum := obsv.PathReport{ByMethod: map[string]int64{}}
+	for _, rq := range tail {
+		pr := m.PartitionRequest(rq)
+		sum.Total += pr.Total
+		sum.Compute += pr.Compute
+		sum.Network += pr.Network
+		sum.FutureWait += pr.FutureWait
+		sum.LockWait += pr.LockWait
+		sum.Idle += pr.Idle
+		sum.Hops += pr.Hops
+		sum.Steps += pr.Steps
+		sum.Incomplete = sum.Incomplete || pr.Incomplete
+	}
+	fmt.Printf("\ntail requests (p99 and above, %d of them) — aggregated partition:\n", len(tail))
+	sum.WritePath(os.Stdout, func(v int64) float64 { return mdl.Seconds(instr.Instr(v)) })
 }
 
 // finishObservability renders the post-run observability outputs: the

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	tables [-table all|2|3|4|5|6|7|8] [-scale small|medium|full] [-seed N] [-j N]
+//	tables [-table all|2|3|4|5|6|7|8|9] [-scale small|medium|full] [-seed N] [-j N]
 //
 // -scale medium (default) runs scaled-down problems in seconds; full uses
 // the paper's problem sizes (slow for tables 4 and 6).
@@ -45,6 +45,7 @@ import (
 	migapp "repro/apps/migrate"
 	"repro/apps/overheads"
 	"repro/apps/seqbench"
+	"repro/apps/serve"
 	"repro/apps/sor"
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -102,7 +103,7 @@ func cfgHybrid() core.Config   { return adorned(core.DefaultHybrid()) }
 func cfgParallel() core.Config { return adorned(core.ParallelOnly()) }
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6, 7, 8")
+	table := flag.String("table", "all", "which table to regenerate: all, 2, 3, 4, 5, 6, 7, 8, 9")
 	scale := flag.String("scale", "medium", "problem scale: small, medium, full")
 	seed := flag.Int64("seed", 1995, "workload generation seed")
 	flag.IntVar(&workers, "j", exp.DefaultWorkers(), "parallel experiment workers (independent cells per table; output is identical for any value)")
@@ -142,7 +143,7 @@ func main() {
 		}
 	}
 	ok := false
-	for _, name := range []string{"2", "3", "4", "5", "6", "7", "8"} {
+	for _, name := range []string{"2", "3", "4", "5", "6", "7", "8", "9"} {
 		if *table == "all" || *table == name {
 			ok = true
 		}
@@ -158,6 +159,7 @@ func main() {
 	run("6", table6)
 	run("7", table7)
 	run("8", table8)
+	run("9", table9)
 
 	if *profile || *traceOut != "" {
 		profileSection(*scale, *seed, *traceOut)
@@ -476,6 +478,81 @@ func table8(scale string, seed int64) {
 			stats.SpeedupStr(stats.Speedup(r.Seconds, base.Seconds)))
 	}
 	t.AddNote("reliable layer on for every swept row; results verified against the native reference at every loss rate")
+	t.Render(out)
+}
+
+// table9 prints the open-loop serving evaluation: p50/p99/p999 latency and
+// SLO attainment — not speedup — for three placement policies crossed with
+// clean and lossy networks, all under a mid-run hotspot flip that relocates
+// every frontend's Zipf hot set into another node's block. The adaptive
+// policies must beat static placement on clean-network p99 (fatal
+// otherwise), and every cell's read-modify-writes must apply exactly once.
+func table9(scale string, seed int64) {
+	p := serve.DefaultParams(seed)
+	switch scale {
+	case "medium":
+		p.Keys, p.Load.Horizon = 4096, 4_000_000
+	case "full":
+		p.Keys, p.Load.Horizon = 1<<18, 8_000_000
+	}
+	mdl := machine.CM5()
+	variants := []struct {
+		name   string
+		policy func() core.MigrationPolicy
+		period core.Instr
+	}{
+		{"static", nil, 0},
+		{"adaptive (threshold)", serve.ThresholdPolicy, 0},
+		{"adaptive (rebalance)", serve.RebalancePolicy, serve.RebalancePeriod},
+	}
+	networks := []struct {
+		name string
+		loss float64
+	}{{"clean", 0}, {"1% loss", 0.01}}
+	// One cell per (policy, network); each builds its own policy instance so
+	// concurrent cells share nothing.
+	cells := exp.Map(workers, len(variants)*len(networks), func(i int) serve.Result {
+		v, nw := variants[i/len(networks)], networks[i%len(networks)]
+		cfg := cfgHybrid()
+		if v.policy != nil {
+			cfg.Migration = v.policy()
+		}
+		cfg.MigrationPeriod = v.period
+		if nw.loss > 0 {
+			cfg.Faults = chaos.Faults(uint64(seed), nw.loss)
+			cfg.Reliable = true
+		}
+		return serve.Run(mdl, cfg, p)
+	})
+	us := func(v int64) string {
+		return fmt.Sprintf("%.0f", mdl.Seconds(instr.Instr(v))*1e6)
+	}
+	t := stats.Table{
+		Title: fmt.Sprintf("Table 9 — open-loop serving: %d keys / %d nodes, %d-op requests, hotspot flip at %d%% of horizon, %s",
+			p.Keys, p.Nodes, p.Load.OpsPerReq, int(p.Load.Flips[0].AtFrac*100), mdl.Name),
+		Headers: []string{"placement", "network", "reqs", "p50 (us)", "p99 (us)", "p999 (us)", "SLO %", "moves", "local frac"},
+	}
+	for vi, v := range variants {
+		for ni, nw := range networks {
+			r := cells[vi*len(networks)+ni]
+			if r.Applied != r.RMWs {
+				fatalf("table9: %s on %s: applied %d of %d issued RMWs\n", v.name, nw.name, r.Applied, r.RMWs)
+			}
+			t.AddRow(v.name, nw.name,
+				fmt.Sprintf("%d", r.Requests),
+				us(r.P50), us(r.P99), us(r.P999),
+				fmt.Sprintf("%.1f", 100*r.SLOFrac),
+				fmt.Sprintf("%d", r.Moves),
+				fmt.Sprintf("%.3f", r.LocalFraction))
+		}
+	}
+	staticClean, threshClean := cells[0], cells[len(networks)]
+	if threshClean.P99 >= staticClean.P99 {
+		fatalf("table9: adaptive (threshold) p99 %d did not beat static %d on the clean network\n",
+			threshClean.P99, staticClean.P99)
+	}
+	t.AddNote(fmt.Sprintf("SLO budget %.0f us; open-loop arrivals (queueing counts against latency); lossy cells run the reliable layer and verify exactly-once RMWs",
+		mdl.Seconds(instr.Instr(p.SLO))*1e6))
 	t.Render(out)
 }
 

@@ -33,9 +33,8 @@ type PathReport struct {
 // CriticalPath walks the longest dependency chain. It needs the detailed
 // logs; with Truncated() the result is flagged Incomplete.
 func (m *Metrics) CriticalPath() PathReport {
-	r := PathReport{ByMethod: map[string]int64{}}
 	if len(m.nodes) == 0 {
-		return r
+		return PathReport{ByMethod: map[string]int64{}}
 	}
 	node := 0
 	for id, np := range m.nodes {
@@ -43,25 +42,55 @@ func (m *Metrics) CriticalPath() PathReport {
 			node = id
 		}
 	}
-	t := m.nodes[node].total
-	r.Total = t
+	return m.walk(node, m.nodes[node].total, 0)
+}
+
+// PartitionWindow partitions the dependency chain ending at (node, end) back
+// to the time floor start: the walk follows busy intervals and message edges
+// exactly like CriticalPath, but stops at the floor, crediting only the
+// portion of each segment inside the window. Used to explain an individual
+// tail request: what was its frontend's chain doing between the request's
+// arrival and its completion. An out-of-range node or empty window returns a
+// zero report.
+func (m *Metrics) PartitionWindow(node int, start, end int64) PathReport {
+	if node < 0 || node >= len(m.nodes) || end <= start {
+		return PathReport{ByMethod: map[string]int64{}}
+	}
+	return m.walk(node, end, start)
+}
+
+// PartitionRequest partitions one completed serving request's span on its
+// frontend node.
+func (m *Metrics) PartitionRequest(rq ReqRecord) PathReport {
+	return m.PartitionWindow(int(rq.Node), rq.Arrive, rq.Done)
+}
+
+// walk traces the dependency chain backward from time t on node down to the
+// time floor, partitioning every cycle of [floor, t]. floor 0 is the
+// whole-run critical path.
+func (m *Metrics) walk(node int, t, floor int64) PathReport {
+	r := PathReport{ByMethod: map[string]int64{}, Total: t - floor}
 	if m.truncated {
 		r.Incomplete = true
-		r.Idle = t
+		r.Idle = r.Total
 		return r
 	}
 
-	for t > 0 {
+	for t > floor {
 		r.Steps++
 		np := m.nodes[node]
 		// Latest interval starting strictly before t.
 		i := sort.Search(len(np.intervals), func(k int) bool { return np.intervals[k].start >= t }) - 1
 		if i >= 0 && np.intervals[i].end >= t {
-			// Busy at t: consume the interval portion below t.
+			// Busy at t: consume the interval portion inside the window.
 			iv := np.intervals[i]
-			r.Compute += t - iv.start
-			r.ByMethod[iv.method] += t - iv.start
-			t = iv.start
+			s := iv.start
+			if s < floor {
+				s = floor
+			}
+			r.Compute += t - s
+			r.ByMethod[iv.method] += t - s
+			t = s
 			continue
 		}
 		// Quiet gap below t. pe is the end of the preceding busy interval.
@@ -69,9 +98,10 @@ func (m *Metrics) CriticalPath() PathReport {
 		if i >= 0 {
 			pe = np.intervals[i].end
 		}
-		// The latest delivery at or before t that falls inside the gap is
-		// what ended the wait; follow the message back to its sender.
-		if a := latestArrival(np.arrivals, t); a != nil && a.at >= pe {
+		// The latest delivery at or before t that falls inside the gap (and
+		// the window) is what ended the wait; follow the message back to its
+		// sender.
+		if a := latestArrival(np.arrivals, t); a != nil && a.at >= pe && a.at >= floor {
 			wait := t - a.at
 			if a.reply {
 				r.FutureWait += wait
@@ -79,28 +109,37 @@ func (m *Metrics) CriticalPath() PathReport {
 				r.Idle += wait
 			}
 			if sendAt, ok := m.sends[sendKey(a.from, int32(node), a.seq)]; ok && sendAt < a.at {
-				r.Network += a.at - sendAt
 				r.Hops++
+				if sendAt < floor {
+					// The send predates the window: the flight fills the rest.
+					r.Network += a.at - floor
+					return r
+				}
+				r.Network += a.at - sendAt
 				t = sendAt
 				node = int(a.from)
 				continue
 			}
 			// No usable matching send: charge the rest to Idle and stop.
 			r.Incomplete = true
-			r.Idle += a.at
+			r.Idle += a.at - floor
 			return r
 		}
 		// No delivery explains the gap. If the node's last act before going
 		// quiet included parking an invocation on a lock, the gap is lock
 		// wait; otherwise it was simply out of work.
-		if i >= 0 && hasLockBlockIn(np.lockBlocks, np.intervals[i].start, pe) {
-			r.LockWait += t - pe
-		} else {
-			r.Idle += t - pe
+		lo := pe
+		if lo < floor {
+			lo = floor
 		}
-		t = pe
-		if i < 0 {
-			return r // reached clock zero through a leading gap
+		if i >= 0 && hasLockBlockIn(np.lockBlocks, np.intervals[i].start, pe) {
+			r.LockWait += t - lo
+		} else {
+			r.Idle += t - lo
+		}
+		t = lo
+		if i < 0 || pe < floor {
+			return r // reached the floor (or clock zero) through a gap
 		}
 	}
 	return r

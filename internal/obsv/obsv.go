@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/instr"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -57,6 +58,33 @@ type Metrics struct {
 	msgWords  Hist
 	suspend   Hist
 	err       error // first attribution-contiguity violation
+
+	// Serving-request tracking (KReqArrive/KReqDone pairs). The latency
+	// histogram is always exact; only the per-request records that feed the
+	// tail-partition walker are bounded (by MaxInstants), with overflow
+	// counted in reqDropped rather than flagged as truncation — aggregate
+	// tables and the whole-run critical path stay available.
+	reqOpen    map[int64]openReq
+	reqs       []ReqRecord
+	reqLat     stats.LatencyHist
+	reqDropped int64
+}
+
+// openReq is an arrived-but-unfinished serving request.
+type openReq struct {
+	node int32
+	at   int64
+}
+
+// ReqRecord is one completed serving request: where it ran and its arrival
+// and completion times on the virtual clock (latency = Done - Arrive,
+// queueing included — the arrival stamp is the modeled arrival, not the
+// moment the frontend got to it).
+type ReqRecord struct {
+	ID     int64
+	Node   int32
+	Arrive int64
+	Done   int64
 }
 
 // nodeProfile is the per-node side of the registry.
@@ -113,6 +141,7 @@ func New() *Metrics {
 	return &Metrics{
 		methods: map[string]*MethodProfile{},
 		sends:   map[uint64]int64{},
+		reqOpen: map[int64]openReq{},
 	}
 }
 
@@ -242,6 +271,20 @@ func (m *Metrics) Record(node int, at instr.Instr, kind uint8, method string, au
 		peer, seq, words := trace.UnpackMsg(aux)
 		np.arrivals = append(np.arrivals, arrival{
 			at: t, from: int32(peer), seq: seq, words: int32(words), reply: method == ""})
+	case trace.KReqArrive:
+		m.reqOpen[aux] = openReq{node: int32(node), at: t}
+	case trace.KReqDone:
+		o, ok := m.reqOpen[aux]
+		if !ok {
+			return // done without arrive: ignore rather than invent a latency
+		}
+		delete(m.reqOpen, aux)
+		m.reqLat.Add(t - o.at)
+		if len(m.reqs) >= m.maxInstants() {
+			m.reqDropped++
+			return
+		}
+		m.reqs = append(m.reqs, ReqRecord{ID: aux, Node: int32(node), Arrive: o.at, Done: t})
 	case trace.KDrop, trace.KDupWire, trace.KDupSuppressed, trace.KRetransmit,
 		trace.KStall, trace.KMigrateStart, trace.KMigrateArrive, trace.KForwardHop,
 		trace.KHopLimit:
@@ -307,6 +350,38 @@ func (m *Metrics) Methods() []*MethodProfile {
 	for _, name := range m.order {
 		if name != "" {
 			out = append(out, m.methods[name])
+		}
+	}
+	return out
+}
+
+// RequestLatencies returns the log-bucketed histogram over every completed
+// serving request's latency. The histogram is exact (never truncated) and
+// mergeable across runs or nodes.
+func (m *Metrics) RequestLatencies() *stats.LatencyHist { return &m.reqLat }
+
+// Requests returns the retained per-request records in completion order.
+// When more requests completed than MaxInstants, the excess beyond the cap
+// is absent here (see RequestsDropped) but still counted in the histogram.
+func (m *Metrics) Requests() []ReqRecord { return m.reqs }
+
+// RequestsDropped returns how many completed requests exceeded the record
+// cap. Their latencies are in RequestLatencies; only their identities and
+// windows are gone.
+func (m *Metrics) RequestsDropped() int64 { return m.reqDropped }
+
+// TailRequests returns the retained requests whose latency reaches the
+// q-quantile of all request latencies — the population to hand to
+// PartitionRequest when explaining the tail.
+func (m *Metrics) TailRequests(q float64) []ReqRecord {
+	if m.reqLat.Count() == 0 {
+		return nil
+	}
+	thr := m.reqLat.Quantile(q)
+	var out []ReqRecord
+	for _, r := range m.reqs {
+		if r.Done-r.Arrive >= thr {
+			out = append(out, r)
 		}
 	}
 	return out

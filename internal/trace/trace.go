@@ -69,6 +69,13 @@ const (
 	KHopLimit
 	// KLockBlock: an invocation parked on a held object lock (Aux: 0).
 	KLockBlock
+	// KReqArrive: an open-loop serving request entered the system (Aux: the
+	// request id assigned by the load generator). Emitted by the workload
+	// driver at the request's modeled arrival time, which queueing may put
+	// well before the frontend's clock.
+	KReqArrive
+	// KReqDone: a serving request determined its reply (Aux: request id).
+	KReqDone
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -79,7 +86,7 @@ var kindNames = [NumKinds]string{
 	"wake", "send", "recv", "wrapper", "reply", "complete",
 	"migstart", "migarrive", "fwdhop",
 	"drop", "dupwire", "dupsupp", "retransmit", "ackbatch", "stall",
-	"hoplimit", "lockblock",
+	"hoplimit", "lockblock", "reqarrive", "reqdone",
 }
 
 // auxMeanings documents, per Kind, what Event.Aux carries — the one table
@@ -108,6 +115,8 @@ var auxMeanings = [NumKinds]string{
 	KStall:         "stall/brown-out window length in virtual time",
 	KHopLimit:      "forwarding hops at the moment the bound was exceeded",
 	KLockBlock:     "unused (0)",
+	KReqArrive:     "serving request id (pairs with the KReqDone of the same id)",
+	KReqDone:       "serving request id (pairs with the KReqArrive of the same id)",
 }
 
 // AuxMeaning returns the documented Aux semantics for kind k ("" only for
