@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-json bench-baseline tables figure9 examples chaos serve profile cover clean
+.PHONY: all build test lint bench bench-json bench-baseline tables figure9 examples chaos serve crash-recovery profile cover clean
 
 all: build test
 
@@ -65,6 +65,16 @@ chaos:
 serve:
 	$(GO) run ./cmd/concert -app serve -nodes 8 -size 1024 -policy threshold -verify -profile
 	$(GO) run ./cmd/tables -table 9 -scale small
+
+# Crash-recovery smoke: one verified serving run under fail-stop crashes
+# with checkpointing and retries (exactly-once RMWs end to end), the crash
+# determinism/exactly-once tests, then the small Table 10 availability grid
+# (its asserts require zero lost requests and >= 99% SLO attainment with
+# checkpoint+retry at the lower crash rate).
+crash-recovery:
+	$(GO) run ./cmd/concert -app serve -nodes 8 -size 1024 -rate 33000 -crash-every 12121 -crash-len 242 -ckpt-period 152 -retries 8 -verify
+	$(GO) test -race -count=1 ./apps/serve ./internal/sim ./internal/core -run 'Crash|Ckpt|Checkpoint|Recover'
+	$(GO) run ./cmd/tables -table 10 -scale small
 
 # Observability smoke: a profiled kernel run with cycle attribution, the
 # critical path, and a Perfetto trace_event export (validated by the binary

@@ -37,9 +37,65 @@ import (
 	"repro/internal/trace"
 )
 
-// KV is one keyed object: the unit of placement and migration.
+// KV is one keyed object: the unit of placement and migration. ids/seen
+// record the request-operation ids of applied read-modify-writes when the
+// deduplicating (retry-safe) RMW variant is in use: a retried operation
+// whose first attempt already applied is answered without re-applying, which
+// is what makes hedged request retries exactly-once. Applied counts every
+// applied RMW, so the invariant Val == Applied holds at all times and is
+// checked at end of run.
+//
+// The id log is a sliding window, not a full history: an unbounded log
+// would make checkpoint snapshots — and the whole-store restore after a
+// crash — grow linearly with run length, slowly stretching every outage. An
+// op id encodes its request id (a global arrival sequence number), so id
+// distance is a clock: applying a fresh RMW evicts ids more than
+// dedupHorizon requests older than it. A duplicate can only arrive between
+// a reply loss and the first successful retry — bounded by the crash window
+// plus a few capped backoffs — while dedupHorizon spans millions of cycles
+// of arrivals at any configured load, so truncation never forgets an id
+// that could still be retried. dedupWindow is a hard size backstop on top.
 type KV struct {
-	Val int64
+	Val     int64
+	Applied int64
+	ids     []int64 // most recent applied ids, oldest first
+	seen    map[int64]struct{}
+}
+
+// dedupWindow bounds the per-key applied-id log (and so the snapshot size);
+// dedupHorizon is the eviction age in request-id distance (see KV).
+// An op id is reqID*opsPerID+opIndex, so opsPerID converts request-id
+// distance into op-id distance.
+const (
+	opsPerID     = 64
+	dedupWindow  = 64
+	dedupHorizon = 2048 * opsPerID
+)
+
+// CheckpointWords serializes the KV's durable state — the value, the
+// applied count, and the recent-id window — for the checkpoint protocol
+// (core.Checkpointable). Bounded by dedupWindow regardless of run length.
+func (kv *KV) CheckpointWords() []core.Word {
+	w := make([]core.Word, 2+len(kv.ids))
+	w[0] = core.IntW(kv.Val)
+	w[1] = core.IntW(kv.Applied)
+	for i, id := range kv.ids {
+		w[i+2] = core.IntW(id)
+	}
+	return w
+}
+
+// RestoreWords re-installs a snapshot in place after a crash.
+func (kv *KV) RestoreWords(w []core.Word) {
+	kv.Val = w[0].Int()
+	kv.Applied = w[1].Int()
+	kv.ids = kv.ids[:0]
+	kv.seen = make(map[int64]struct{}, len(w)-2)
+	for _, x := range w[2:] {
+		id := x.Int()
+		kv.ids = append(kv.ids, id)
+		kv.seen[id] = struct{}{}
+	}
 }
 
 // Front is a per-node frontend: the arrival point for requests. Its only
@@ -49,6 +105,15 @@ type Front struct {
 	app *App
 }
 
+// CheckpointWords makes frontends checkpointable with an empty snapshot:
+// their only state is the host-side harness pointer, which survives crashes,
+// but without a restore a crashed frontend would stay lost forever and every
+// retry against it would park unserved.
+func (f *Front) CheckpointWords() []core.Word { return nil }
+
+// RestoreWords is a no-op: the harness pointer never left.
+func (f *Front) RestoreWords([]core.Word) {}
+
 // App is the run-wide harness shared by every frontend: the generated
 // requests, the key->object table, and the completion accounting. Method
 // bodies reach it through their frontend's state, never through the
@@ -57,6 +122,13 @@ type App struct {
 	reqs []load.Req
 	refs []core.Ref
 
+	// finished[id] dedups hedged completions: with retries a request may be
+	// in flight twice, and only the first completion counts (latency is
+	// always measured from the original arrival). dedup selects the
+	// deduplicating RMW variant for the request bodies.
+	finished []bool
+	dedup    bool
+
 	hist   stats.LatencyHist
 	slo    int64
 	sloOK  int64
@@ -64,8 +136,14 @@ type App struct {
 	tracer core.Tracer
 }
 
-// complete stamps one request finished on its frontend's clock.
+// complete stamps one request finished on its frontend's clock. Completions
+// of hedged duplicate attempts are ignored — the first attempt to finish
+// wins.
 func (a *App) complete(n *core.NodeRT, rq *load.Req) {
+	if a.finished[rq.ID] {
+		return
+	}
+	a.finished[rq.ID] = true
 	now := int64(n.Sim.Clock)
 	a.hist.Add(now - rq.At)
 	if now-rq.At <= a.slo {
@@ -84,6 +162,7 @@ type Methods struct {
 
 	read *core.Method
 	rmw  *core.Method
+	rmwd *core.Method // deduplicating, durable variant used under retries
 
 	readW, rmwW instr.Instr
 }
@@ -114,10 +193,40 @@ func Build(readWork, rmwWork instr.Instr) *Methods {
 	}
 	p.Add(m.rmw)
 
+	// rmwd(delta, id): the retry-safe read-modify-write. Identical to rmw
+	// except the mutation is (a) deduplicated by operation id, so a hedged
+	// retry whose first attempt already applied answers without re-applying,
+	// and (b) Durable: under checkpointing its reply is group-committed —
+	// held until the backup acks a covering snapshot — so no client observes
+	// a value a crash can roll back. Together these make RMWs exactly-once
+	// end to end under crashes, retries, and restores.
+	m.rmwd = &core.Method{Name: "serve.rmwd", NArgs: 2, Durable: true}
+	m.rmwd.Body = func(rt *core.RT, fr *core.Frame) core.Status {
+		kv := fr.Node.State(fr.Self).(*KV)
+		id := fr.Arg(1).Int()
+		if kv.seen == nil {
+			kv.seen = make(map[int64]struct{})
+		}
+		if _, dup := kv.seen[id]; !dup {
+			kv.Val += fr.Arg(0).Int()
+			kv.Applied++
+			kv.seen[id] = struct{}{}
+			kv.ids = append(kv.ids, id)
+			for len(kv.ids) > dedupWindow || (len(kv.ids) > 0 && kv.ids[0] < id-dedupHorizon) {
+				delete(kv.seen, kv.ids[0])
+				kv.ids = kv.ids[1:]
+			}
+		}
+		rt.Work(fr, m.rmwW)
+		rt.Reply(fr, core.IntW(kv.Val))
+		return core.Done
+	}
+	p.Add(m.rmwd)
+
 	// request(id): fan the request's keyed operations out, join the
 	// replies, stamp the request complete.
 	m.Request = &core.Method{Name: "serve.request", NArgs: 1, NLocals: 1,
-		MayBlockLocal: true, Calls: []*core.Method{m.read, m.rmw}}
+		MayBlockLocal: true, Calls: []*core.Method{m.read, m.rmw, m.rmwd}}
 	m.Request.Body = func(rt *core.RT, fr *core.Frame) core.Status {
 		f := fr.Node.State(fr.Self).(*Front)
 		a := f.app
@@ -135,10 +244,16 @@ func Build(readWork, rmwWork instr.Instr) *Methods {
 				fr.SetLocal(0, core.IntW(int64(i+1)))
 				ref := a.refs[rq.Keys[i]]
 				var st core.CallStatus
-				if rq.RMW&(1<<uint(i)) != 0 {
-					st = rt.Invoke(fr, m.rmw, ref, core.JoinDiscard, core.IntW(1))
-				} else {
+				switch {
+				case rq.RMW&(1<<uint(i)) == 0:
 					st = rt.Invoke(fr, m.read, ref, core.JoinDiscard)
+				case a.dedup:
+					// Operation id: request id and operation index packed in
+					// one word, unique across all retries of the same op.
+					st = rt.Invoke(fr, m.rmwd, ref, core.JoinDiscard,
+						core.IntW(1), core.IntW(int64(rq.ID)*opsPerID+int64(i)))
+				default:
+					st = rt.Invoke(fr, m.rmw, ref, core.JoinDiscard, core.IntW(1))
 				}
 				if st == core.NeedUnwind {
 					return rt.Unwind(fr)
@@ -170,6 +285,25 @@ type Params struct {
 	ReadWork instr.Instr // useful work per read body
 	RMWWork  instr.Instr // useful work per read-modify-write body
 	SLO      int64       // latency budget in virtual instructions
+
+	// RetryAfter, when positive, arms a deadline on every request: if the
+	// request has not completed RetryAfter after an attempt is issued, the
+	// frontend re-issues it (a hedge — the original attempt keeps running
+	// and the first completion wins; the deduplicating RMW variant absorbs
+	// the duplicates). The deadline backs off exponentially per retry,
+	// capped at 8x. Retries also re-issue requests that could not start at
+	// all because their frontend was down or crash-lost. Zero disables
+	// retries (a request lost to a crash stays lost). Selects the
+	// deduplicating RMW variant for all requests.
+	RetryAfter instr.Instr
+	// MaxRetries bounds re-issues per request (0 with RetryAfter set means
+	// retries are armed but never fired — effectively off).
+	MaxRetries int
+	// HedgeAfter, when positive, launches one extra speculative attempt
+	// HedgeAfter after arrival if the request is still unfinished — a
+	// tail-latency hedge, fired once and not counted against MaxRetries.
+	// Only meaningful with RetryAfter set (it needs the dedup variant).
+	HedgeAfter instr.Instr
 }
 
 // DefaultParams returns the reference (small/CI) Table 9 workload: 8 nodes,
@@ -224,21 +358,24 @@ func RebalancePolicy() core.MigrationPolicy {
 
 // Result is one run's measurements.
 type Result struct {
-	Requests int
-	Ops      int64
-	RMWs     int64 // read-modify-writes issued by the generator
-	Applied  int64 // read-modify-writes present in final KV state
-	Hist     *stats.LatencyHist
-	P50      int64
-	P99      int64
-	P999     int64
-	SLOFrac  float64 // fraction of requests inside the SLO budget
-	Seconds  float64 // parallel completion time
+	Requests      int
+	Ops           int64
+	RMWs          int64 // read-modify-writes issued by the generator
+	Applied       int64 // read-modify-writes present in final KV state
+	Hist          *stats.LatencyHist
+	P50           int64
+	P99           int64
+	P999          int64
+	SLOFrac       float64 // fraction of requests inside the SLO budget
+	Seconds       float64 // parallel completion time
 	LocalFraction float64
-	Messages int64
-	Moves    int64 // objects migrated during the run
-	Stats    core.NodeStats
-	Counters instr.Counters
+	Messages      int64
+	Moves         int64 // objects migrated during the run
+	Lost          int64 // requests that never completed (crash-lost work)
+	Retries       int64 // request re-issues (deadline retries + hedges)
+	Recovery      core.RecoveryStats
+	Stats         core.NodeStats
+	Counters      instr.Counters
 }
 
 // Run executes the serving workload under cfg (whose Migration field selects
@@ -261,7 +398,13 @@ func Run(mdl *machine.Model, cfg core.Config, p Params) Result {
 	eng := sim.NewEngine(p.Nodes)
 	rt := core.NewRT(eng, mdl, m.Prog, cfg)
 
-	app := &App{slo: p.SLO, tracer: cfg.Tracer}
+	// The deduplicating durable RMW variant runs whenever anything can
+	// re-execute or roll back a mutation: deadline retries duplicate
+	// operations, and checkpointing needs mutations declared Durable to be
+	// captured (and their replies group-committed). Without either, the
+	// plain variant keeps the Table 9 workload byte-identical.
+	app := &App{slo: p.SLO, tracer: cfg.Tracer,
+		dedup: p.RetryAfter > 0 || cfg.CheckpointPeriod > 0}
 	kvs := make([]*KV, p.Keys)
 	app.refs = make([]core.Ref, p.Keys)
 	for k := range kvs {
@@ -279,10 +422,65 @@ func Run(mdl *machine.Model, cfg core.Config, p Params) Result {
 	// Chaining keeps the event heap at one pending arrival instead of the
 	// whole trace.
 	gen := load.New(lp)
+	crashy := cfg.Faults.Crashy()
 	var ops, rmws int64
+
+	// launch starts one attempt of a request as a fresh root, unless its
+	// frontend is currently unavailable (node down, or the Front object
+	// crash-lost and not yet restored) — starting there would target state
+	// that does not exist. When recovery is configured the attempt is
+	// re-probed shortly (the arrival waits out the outage, as a load
+	// balancer's accept queue would); without recovery the frontend never
+	// comes back and the attempt is simply dropped.
+	const probeEvery = 2_000
+	var launch func(rq *load.Req)
+	launch = func(rq *load.Req) {
+		fn := rt.Node(rq.Front)
+		if fn.Sim.Down() || fn.ObjectLost(fronts[rq.Front]) {
+			if cfg.CheckpointPeriod > 0 && !app.finished[rq.ID] {
+				eng.AfterFunc(probeEvery, func() {
+					if !app.finished[rq.ID] {
+						launch(rq)
+					}
+				})
+			}
+			return
+		}
+		rt.StartOn(rq.Front, m.Request, fronts[rq.Front], nil, core.IntW(int64(rq.ID)))
+	}
+	// reissue is one deadline retry or hedge: counted and traced on the
+	// frontend, then launched exactly like the original attempt. The
+	// original attempt (if any) keeps running; App.complete keeps only the
+	// first completion, and the deduplicating RMW variant keeps the
+	// duplicated mutations exactly-once.
+	reissue := func(rq *load.Req) {
+		rt.Node(rq.Front).Stats.ReqRetries++
+		if app.tracer != nil {
+			app.tracer.Record(rq.Front, eng.Now(), uint8(trace.KReqRetry),
+				"serve.request", int64(rq.ID))
+		}
+		launch(rq)
+	}
+	var deadline func(rqID int, try int, wait instr.Instr)
+	deadline = func(rqID, try int, wait instr.Instr) {
+		eng.AfterFunc(wait, func() {
+			if app.finished[rqID] {
+				return
+			}
+			reissue(&app.reqs[rqID])
+			if try+1 < p.MaxRetries {
+				next := wait * 2
+				if cap := p.RetryAfter * 8; next > cap {
+					next = cap
+				}
+				deadline(rqID, try+1, next)
+			}
+		})
+	}
 	var inject func(rq load.Req)
 	inject = func(rq load.Req) {
 		app.reqs = append(app.reqs, rq)
+		app.finished = append(app.finished, false)
 		ops += int64(len(rq.Keys))
 		rmws += int64(bits.OnesCount64(rq.RMW))
 		eng.Schedule(instr.Instr(rq.At), func() {
@@ -290,7 +488,18 @@ func Run(mdl *machine.Model, cfg core.Config, p Params) Result {
 				app.tracer.Record(rq.Front, instr.Instr(rq.At), uint8(trace.KReqArrive),
 					"serve.request", int64(rq.ID))
 			}
-			rt.StartOn(rq.Front, m.Request, fronts[rq.Front], nil, core.IntW(int64(rq.ID)))
+			id := rq.ID
+			launch(&app.reqs[id])
+			if p.RetryAfter > 0 && p.MaxRetries > 0 {
+				deadline(id, 0, p.RetryAfter)
+			}
+			if p.HedgeAfter > 0 {
+				eng.AfterFunc(p.HedgeAfter, func() {
+					if !app.finished[id] {
+						reissue(&app.reqs[id])
+					}
+				})
+			}
 			if nxt, ok := gen.Next(); ok {
 				inject(nxt)
 			}
@@ -301,29 +510,48 @@ func Run(mdl *machine.Model, cfg core.Config, p Params) Result {
 	}
 
 	rt.Run()
-	if err := rt.CheckQuiescence(); err != nil {
-		panic(err)
-	}
-	if app.done != int64(len(app.reqs)) {
-		panic(fmt.Sprintf("serve: %d of %d requests completed", app.done, len(app.reqs)))
+	if !crashy {
+		// Under crashes a run may legitimately end with parked requests and
+		// abandoned frames (lost work, measured below); without them the
+		// machine must quiesce cleanly and answer everything.
+		if err := rt.CheckQuiescence(); err != nil {
+			panic(err)
+		}
+		if app.done != int64(len(app.reqs)) {
+			panic(fmt.Sprintf("serve: %d of %d requests completed", app.done, len(app.reqs)))
+		}
 	}
 
 	var applied int64
 	for _, kv := range kvs {
 		applied += kv.Val
 	}
+	if app.dedup {
+		// The exactly-once invariant of the deduplicating RMW variant: each
+		// key's value counts exactly its applied operation ids — no retry
+		// ever applied twice, no restore ever resurrected a duplicate.
+		for k, kv := range kvs {
+			if kv.Val != kv.Applied {
+				panic(fmt.Sprintf("serve: key %d: value %d != %d applied RMWs (duplicate or phantom RMW)",
+					k, kv.Val, kv.Applied))
+			}
+		}
+	}
 	st := rt.TotalStats()
 	res := Result{
-		Requests:      len(app.reqs),
-		Ops:           ops,
-		RMWs:          rmws,
-		Applied:       applied,
-		Hist:          &app.hist,
-		Seconds:       mdl.Seconds(eng.MaxClock()),
-		Messages:      eng.TotalMessages(),
-		Moves:         st.MigratesOut,
-		Stats:         st,
-		Counters:      eng.TotalCounters(),
+		Requests: len(app.reqs),
+		Ops:      ops,
+		RMWs:     rmws,
+		Applied:  applied,
+		Hist:     &app.hist,
+		Seconds:  mdl.Seconds(eng.MaxClock()),
+		Messages: eng.TotalMessages(),
+		Moves:    st.MigratesOut,
+		Lost:     int64(len(app.reqs)) - app.done,
+		Retries:  st.ReqRetries,
+		Recovery: rt.Recov(),
+		Stats:    st,
+		Counters: eng.TotalCounters(),
 	}
 	if total := st.LocalInvokes + st.RemoteInvokes; total > 0 {
 		res.LocalFraction = float64(st.LocalInvokes) / float64(total)

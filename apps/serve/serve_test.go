@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/obsv"
+	"repro/internal/sim"
 )
 
 // scalars strips the Result down to its comparable fields (the Hist pointer
@@ -122,6 +123,87 @@ func TestAdaptiveBeatsStaticP99(t *testing.T) {
 	}
 	if thresh.SLOFrac <= static.SLOFrac {
 		t.Fatalf("threshold SLO %.3f did not beat static %.3f", thresh.SLOFrac, static.SLOFrac)
+	}
+}
+
+// crashParams is the reference crash-recovery workload: the Table 9 traffic
+// without the hotspot flip (crashes are evaluated under static placement,
+// which ValidateConfig enforces), with deadline retries armed.
+func crashParams(seed int64) Params {
+	p := DefaultParams(seed)
+	p.Load.Flips = nil
+	// Availability runs operate with capacity headroom: the durable
+	// protocol's checkpoint traffic plus a crash's downtime and restore
+	// work tip a near-saturated open loop into metastable collapse (the
+	// backlog outlives the outage and retries amplify it), which would
+	// measure congestion, not recovery. The retry deadline sits above the
+	// healthy p99 so retries fire only for requests an outage actually hurt.
+	p.Load.MeanGap = 1000
+	p.RetryAfter = 80_000
+	p.MaxRetries = 8
+	return p
+}
+
+// crashConfig is the checkpoint+retry configuration: fail-stop crashes on a
+// reliable network with periodic checkpoints.
+func crashConfig(seed uint64) core.Config {
+	cfg := core.DefaultHybrid()
+	cfg.Reliable = true
+	cfg.Faults = &sim.Faults{Seed: seed, CrashEvery: 400_000, CrashLen: 8_000}
+	cfg.CheckpointPeriod = 5_000
+	return cfg
+}
+
+// TestCrashRecoveryExactlyOnce: under fail-stop crashes with checkpointing
+// and retries, every request eventually completes, every lost object is
+// restored, and every RMW applies exactly once (Run itself also checks the
+// per-key Val == len(ids) invariant).
+func TestCrashRecoveryExactlyOnce(t *testing.T) {
+	r := Run(machine.CM5(), crashConfig(11), crashParams(1995))
+	if r.Recovery.Crashes == 0 {
+		t.Fatal("crash injection inert: no crash windows opened")
+	}
+	if r.Recovery.RestoredObjects != r.Recovery.LostObjects {
+		t.Fatalf("restored %d of %d lost objects", r.Recovery.RestoredObjects, r.Recovery.LostObjects)
+	}
+	if r.Lost != 0 {
+		t.Fatalf("%d requests lost despite checkpoint+retry", r.Lost)
+	}
+	if r.Applied != r.RMWs {
+		t.Fatalf("applied %d of %d issued RMWs", r.Applied, r.RMWs)
+	}
+	if r.Retries == 0 {
+		t.Fatal("no retries fired under crashes")
+	}
+}
+
+// TestCrashDeterministic: equal seeds reproduce the crash/recovery run
+// byte for byte.
+func TestCrashDeterministic(t *testing.T) {
+	a := Run(machine.CM5(), crashConfig(11), crashParams(1995))
+	b := Run(machine.CM5(), crashConfig(11), crashParams(1995))
+	if scalars(a) != scalars(b) {
+		t.Fatalf("same Params produced different results:\n%+v\n%+v", scalars(a), scalars(b))
+	}
+	if *a.Hist != *b.Hist {
+		t.Fatal("same Params produced different latency histograms")
+	}
+}
+
+// TestCrashNoRecoveryLosesRequests: the no-recovery baseline — crashes with
+// neither checkpoints nor retries — must lose requests outright (the
+// availability gap Table 10 quantifies).
+func TestCrashNoRecoveryLosesRequests(t *testing.T) {
+	p := crashParams(1995)
+	p.RetryAfter, p.MaxRetries = 0, 0
+	cfg := crashConfig(11)
+	cfg.CheckpointPeriod = 0
+	r := Run(machine.CM5(), cfg, p)
+	if r.Recovery.Crashes == 0 {
+		t.Fatal("crash injection inert")
+	}
+	if r.Lost == 0 {
+		t.Fatal("no-recovery configuration lost nothing — crash windows are not destructive")
 	}
 }
 

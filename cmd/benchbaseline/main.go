@@ -8,9 +8,9 @@
 //	              [-reps N] [-micro regex] [-benchtime 200ms] [-skip-micro]
 //
 // Each entry has the schema {name, serial_s, parallel_s, workers, speedup}.
-// Driver entries time `tables -table all`, the Table 9 serving workload, and
-// one sweep per kernel through the internal/exp runner at -j 1 and -j N
-// (best of -reps). Microbenchmark entries record ns/op from `go test -bench`
+// Driver entries time `tables -table all`, the Table 9 and 10 serving and
+// crash workloads, and one sweep per kernel through the internal/exp runner
+// at -j 1 and -j N (best of -reps). Microbenchmark entries record ns/op from `go test -bench`
 // as seconds with workers=1 and speedup=1 — single-run baselines the
 // trajectory can diff against.
 //
@@ -73,6 +73,7 @@ func main() {
 	}{
 		{"tables-all", tablesBin, []string{"-scale", *scale}},
 		{"tables-9-serve", tablesBin, []string{"-table", "9", "-scale", *scale}},
+		{"tables-10-crash", tablesBin, []string{"-table", "10", "-scale", *scale}},
 		{"sweep-sor", sweepBin, []string{"-app", "sor", "-scale", *scale}},
 		{"sweep-em3d", sweepBin, []string{"-app", "em3d", "-scale", *scale}},
 		{"sweep-mdforce", sweepBin, []string{"-app", "mdforce", "-scale", *scale}},

@@ -40,6 +40,7 @@ import (
 	"repro/internal/instr"
 	"repro/internal/machine"
 	"repro/internal/obsv"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -60,6 +61,10 @@ func main() {
 	sloUS := flag.Float64("slo-us", 0, "serve: latency SLO in microseconds (0 = default)")
 	policyName := flag.String("policy", "none", "serve: placement policy: none, threshold, rebalance")
 	loss := flag.Float64("loss", 0, "serve: message-loss rate; > 0 injects faults and enables the reliable layer")
+	crashEvery := flag.Float64("crash-every", 0, "serve: mean microseconds between fail-stop node crashes (0 = none)")
+	crashLen := flag.Float64("crash-len", 250, "serve: microseconds a crashed node stays down before rejoining")
+	ckptPeriod := flag.Float64("ckpt-period", 0, "serve: checkpoint period in microseconds (0 = no checkpointing)")
+	retries := flag.Int("retries", 0, "serve: max deadline-based retries per request (0 = none)")
 	verify := flag.Bool("verify", false, "check the result against the native reference")
 	profile := flag.Bool("profile", false, "print per-method cycle attribution and the critical path")
 	traceOut := flag.String("trace-out", "", "write the run as Chrome trace_event JSON to FILE")
@@ -183,6 +188,25 @@ func main() {
 		if *loss > 0 {
 			cfg.Faults = chaos.Faults(uint64(*seed), *loss)
 			cfg.Reliable = true
+		}
+		if *crashEvery > 0 {
+			if cfg.Faults == nil {
+				cfg.Faults = &sim.Faults{Seed: uint64(*seed)}
+			}
+			cfg.Faults.CrashEvery = sim.Time(*crashEvery / 1e6 * perSec)
+			cfg.Faults.CrashLen = sim.Time(*crashLen / 1e6 * perSec)
+			// Crash rejoin needs the link layer's incarnation epochs.
+			cfg.Reliable = true
+		}
+		if *ckptPeriod > 0 {
+			cfg.CheckpointPeriod = instr.Instr(*ckptPeriod / 1e6 * perSec)
+		}
+		if *retries > 0 {
+			// Deadline at four SLO budgets: far enough above the congested
+			// tail that retries chase losses, not slow replies, yet early
+			// enough to mask a crash window within a few attempts.
+			p.RetryAfter = instr.Instr(4 * p.SLO)
+			p.MaxRetries = *retries
 		}
 		r := serve.Run(mdl, cfg, p)
 		us := func(v int64) float64 { return mdl.Seconds(instr.Instr(v)) * 1e6 }

@@ -31,7 +31,7 @@ func TestTablesZeroPerturbation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every table twice")
 	}
-	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8, table9}
+	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8, table9, table10}
 
 	adorn = nil
 	plain := captureTables(t, tables)
@@ -74,7 +74,7 @@ func TestTablesCheckDeclsZeroPerturbation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every table twice")
 	}
-	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8, table9}
+	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8, table9, table10}
 
 	adorn = nil
 	plain := captureTables(t, tables)
@@ -100,7 +100,7 @@ func TestTablesParallelGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every table twice")
 	}
-	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8, table9}
+	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8, table9, table10}
 
 	adorn = nil
 	oldWorkers := workers

@@ -67,11 +67,25 @@ type Frame struct {
 	// captured marks that the activation's continuation was explicitly
 	// captured; Reply must then not also run through RetCont.
 	captured bool
+	// replyDeferred marks that Reply parked the result on the target
+	// object's deferred list (a durable mutation awaiting its checkpoint
+	// ack) instead of delivering it; stack callers must then wait as if the
+	// callee had forwarded (see stackCall).
+	replyDeferred bool
+	// dead marks a frame killed by a fail-stop crash of its node. Dead
+	// frames are abandoned — never recycled — so stale continuations from
+	// the lost incarnation can never corrupt a reused frame; the scheduler
+	// and future-fill paths skip them.
+	dead bool
 	// lockObj is the object whose lock this activation holds, if any.
 	lockObj *Object
 
 	// next links frames in run queues, lock waiter lists and the pool.
 	next *Frame
+	// livePrev/liveNext thread every checked-out frame into its node's
+	// live list, so a crash can find and kill all of them — including
+	// suspended frames that sit in no queue.
+	livePrev, liveNext *Frame
 }
 
 // Arg returns argument word i.
@@ -136,6 +150,8 @@ func MaskRange(lo, hi int) uint64 {
 // promotion charges context-allocation costs.
 type framePool struct {
 	free *Frame
+	// liveHead threads the checked-out frames (see Frame.livePrev/liveNext).
+	liveHead *Frame
 	// Live counts checked-out frames; at quiescence it must be zero
 	// (context-leak invariant, checked by tests).
 	Live int64
@@ -165,8 +181,16 @@ func (p *framePool) checkout(m *Method, node *NodeRT, self Ref, args []Word) *Fr
 	fr.waiting = false
 	fr.promoted = false
 	fr.captured = false
+	fr.replyDeferred = false
+	fr.dead = false
 	fr.lockObj = nil
 	fr.next = nil
+	fr.livePrev = nil
+	fr.liveNext = p.liveHead
+	if p.liveHead != nil {
+		p.liveHead.livePrev = fr
+	}
+	p.liveHead = fr
 
 	fr.Args = resizeWords(fr.Args, m.NArgs)
 	// Zero the tail beyond the supplied args: a recycled frame must not leak
@@ -194,10 +218,35 @@ func (p *framePool) release(fr *Frame) {
 	if fr.lockObj != nil {
 		panic("core: releasing frame that still holds a lock")
 	}
+	p.unlive(fr)
 	fr.M = nil
 	fr.next = p.free
 	p.free = fr
 	p.Live--
+}
+
+// abandon removes a crash-killed frame from the live accounting without
+// returning it to the free list: a continuation from the lost incarnation
+// may still point at it, and must find a tombstone (dead == true), never a
+// recycled activation.
+func (p *framePool) abandon(fr *Frame) {
+	fr.dead = true
+	fr.lockObj = nil
+	p.unlive(fr)
+	p.Live--
+}
+
+// unlive unlinks a frame from the live list.
+func (p *framePool) unlive(fr *Frame) {
+	if fr.livePrev != nil {
+		fr.livePrev.liveNext = fr.liveNext
+	} else {
+		p.liveHead = fr.liveNext
+	}
+	if fr.liveNext != nil {
+		fr.liveNext.livePrev = fr.livePrev
+	}
+	fr.livePrev, fr.liveNext = nil, nil
 }
 
 func resizeWords(s []Word, n int) []Word {

@@ -103,6 +103,7 @@ func (rt *RT) stackCall(n *NodeRT, fr *Frame, m *Method, obj *Object, target Ref
 		obj.locked = true
 		cf.lockObj = obj
 	}
+	rt.noteDurable(n, m, obj)
 	n.stackDepth++
 	prevM := n.curM
 	n.curM = m
@@ -112,8 +113,24 @@ func (rt *RT) stackCall(n *NodeRT, fr *Frame, m *Method, obj *Object, target Ref
 
 	switch st {
 	case Done:
+		deferred := cf.replyDeferred
 		rt.complete(n, cf)
-		return OK
+		if !deferred {
+			return OK
+		}
+		// The callee group-committed: it finished, but its reply is held
+		// until the covering checkpoint is acked, so the caller's slot is
+		// not filled yet. Same shape as a Forwarded chain still in flight.
+		if slot != JoinDiscard && fr.FutFull(slot) {
+			return OK
+		}
+		if slot == JoinDiscard && fr.joinOut == 0 {
+			return OK
+		}
+		if fr.Mode == StackMode {
+			return NeedUnwind
+		}
+		return Async
 	case Unwound:
 		// The callee fell back. Its lazily-created context now lives in the
 		// heap with our continuation linked into it (the caller-side work of
@@ -277,6 +294,21 @@ func (rt *RT) Reply(fr *Frame, val Word) {
 		panic(fmt.Sprintf("core: %s replied after capturing its continuation", fr.M.Name))
 	}
 	rt.traceEvent(fr.Node, uint8(trace.KReply), fr.M, 0)
+	if fr.M.Durable && rt.checkpointing() {
+		// Group commit: hold the reply until the backup acks a checkpoint
+		// covering this mutation, so no client ever observes a state a
+		// crash can roll back. noteDurable bumped mutVer before the body
+		// ran, so the version is uncovered unless an ack somehow already
+		// reached it (it cannot within one activation — the guard is
+		// defensive).
+		n := fr.Node
+		if obj := n.localObject(fr.Self); obj != nil && obj.mutVer > obj.ackVer {
+			obj.deferred = append(obj.deferred, deferredReply{cont: fr.RetCont, val: val, ver: obj.mutVer})
+			fr.replyDeferred = true
+			rt.requestFlush(n)
+			return
+		}
+	}
 	rt.DeliverCont(fr.Node, fr.RetCont, val, fr.Mode == StackMode)
 }
 
@@ -340,6 +372,7 @@ func (rt *RT) ForwardTail(fr *Frame, m *Method, target Ref, args ...Word) Status
 			obj.locked = true
 			cf.lockObj = obj
 		}
+		rt.noteDurable(n, m, obj)
 		n.stackDepth++
 		prevM := n.curM
 		n.curM = m
@@ -350,7 +383,14 @@ func (rt *RT) ForwardTail(fr *Frame, m *Method, target Ref, args ...Word) Status
 		case Done:
 			// The whole forwarded chain completed synchronously: our reply
 			// obligation is discharged, so this activation finishes normally.
+			// Unless the tail group-committed — then the forwarded
+			// continuation is parked in its deferred queue, not yet
+			// delivered, and the chain is still in flight.
+			deferred := cf.replyDeferred
 			rt.complete(n, cf)
+			if deferred {
+				return Forwarded
+			}
 			fr.captured = false
 			return Done
 		case Unwound:
@@ -438,6 +478,12 @@ func (rt *RT) deliverLocal(n *NodeRT, c Cont, val Word, viaStack bool) {
 		n.charge(instr.OpFuture, mdl.FutureFill)
 	}
 	tf := c.Fr
+	if tf.dead {
+		// The frame crashed with its node. Its result (a reply to a request
+		// the old incarnation issued, or a deferred group-commit release) has
+		// nowhere to land; the application-level retry re-issues the work.
+		return
+	}
 	if c.Slot == JoinDiscard {
 		tf.joinOut--
 		if tf.joinOut < 0 {

@@ -38,6 +38,14 @@ type Method struct {
 	// Locks declares that activations acquire the target object's lock.
 	Locks bool
 
+	// Durable declares that activations mutate the target object's
+	// checkpointed state. Under checkpointing (Config.CheckpointPeriod > 0)
+	// a durable activation's reply is group-committed: held until the
+	// backup acknowledges a checkpoint covering the mutation, so no client
+	// observes a state a crash can roll back (see recover.go). No effect
+	// when checkpointing is off.
+	Durable bool
+
 	// MayBlockLocal and Captures are the locally-visible analysis inputs
 	// (see internal/analysis).
 	MayBlockLocal bool

@@ -89,7 +89,14 @@ func (n *NodeRT) lookup(ref Ref) (*Object, int) {
 // node with no entry can only mean the object is in flight to it.
 func (n *NodeRT) entry(ref Ref) (*Object, bool) {
 	if int(ref.Node) == n.ID {
-		return n.objects[ref.Index], true
+		if o := n.objects[ref.Index]; !o.lost {
+			return o, true
+		}
+		// Crash-lost state: route as if the object were in flight, so
+		// requests park here until a checkpoint restore re-installs it (or
+		// forever, under a no-recovery configuration — that is the lost
+		// work Table 10's no-recovery column measures).
+		return nil, false
 	}
 	if o := n.imports[ref]; o != nil {
 		return o, true
@@ -100,7 +107,7 @@ func (n *NodeRT) entry(ref Ref) (*Object, bool) {
 // localObject returns the object if ref currently resolves on n, else nil.
 func (n *NodeRT) localObject(ref Ref) *Object {
 	if int(ref.Node) == n.ID {
-		if o := n.objects[ref.Index]; !o.away {
+		if o := n.objects[ref.Index]; !o.away && !o.lost {
 			return o
 		}
 		return nil
@@ -376,7 +383,7 @@ func (rt *RT) frameRetired(n *NodeRT, self Ref) {
 // deterministic order (birth objects by index, then imports by arrival).
 func (n *NodeRT) ForEachLocalObject(f func(*Object)) {
 	for _, o := range n.objects {
-		if !o.away {
+		if !o.away && !o.lost {
 			f(o)
 		}
 	}

@@ -19,6 +19,15 @@ const (
 	msgMigrate
 	// msgMoved: a path-compression notice — "ref now lives at loc".
 	msgMoved
+	// msgCkpt: a snapshot of one object's durable state, shipped from its
+	// owner to its backup node (see recover.go).
+	msgCkpt
+	// msgCkptAck: the backup's acknowledgement that a snapshot version is
+	// durably stored; releases the owner's deferred replies up to it.
+	msgCkptAck
+	// msgRestore: a stored snapshot shipped from the backup to a rejoined
+	// owner, restoring a crash-lost object.
+	msgRestore
 )
 
 // Msg is an active message: a request to run a method on a target object
@@ -47,6 +56,14 @@ type Msg struct {
 	loc int32
 	ver int32
 
+	// ckptBatch carries the checkpoint-protocol payloads (msgCkpt,
+	// msgCkptAck, msgRestore): per-object snapshots — words copied at
+	// snapshot time, so later mutations of the live state never leak into
+	// a checkpoint already on the wire — batched into one bulk transfer,
+	// so protocol cost is bounded by the shipped state's size plus one
+	// message, not by the object count. Acks carry versions only.
+	ckptBatch []ckptItem
+
 	// wireFrom/wireSeq/wireWords identify the message's latest physical
 	// transmission for trace correlation: the sending node, its per-link
 	// sequence number, and the modeled payload words. Stamped by rt.send
@@ -70,6 +87,14 @@ func (m *Msg) words() int {
 		return 4 + migrateWords(m.obj.State)
 	case msgMoved:
 		return 3 // ref + new location: a single packet
+	case msgCkpt, msgRestore:
+		w := 1 // object count
+		for _, it := range m.ckptBatch {
+			w += 3 + len(it.words) // ref + version + payload each
+		}
+		return w
+	case msgCkptAck:
+		return 1 + 2*len(m.ckptBatch) // count + (ref, acked version) each
 	}
 	return 4 + len(m.args)
 }
@@ -160,6 +185,15 @@ func (rt *RT) handleMsg(n *NodeRT, msg *Msg) {
 	case msgMoved:
 		rt.handleMoved(n, msg)
 		return
+	case msgCkpt:
+		rt.handleCkpt(n, msg)
+		return
+	case msgCkptAck:
+		rt.handleCkptAck(n, msg)
+		return
+	case msgRestore:
+		rt.handleRestore(n, msg)
+		return
 	}
 	m := msg.method
 	if m == nil {
@@ -239,6 +273,7 @@ func (rt *RT) runWrapper(n *NodeRT, m *Method, obj *Object, msg *Msg) {
 		obj.locked = true
 		cf.lockObj = obj
 	}
+	rt.noteDurable(n, m, obj)
 	n.stackDepth++
 	prevM := n.curM
 	n.curM = m

@@ -52,6 +52,24 @@ type NodeRT struct {
 	relOut []*sendLink
 	relIn  []*recvLink
 
+	// Crash-recovery state (see recover.go). ckptStore/ckptRefs are the
+	// checkpoints this node holds as a *backup* for its peers, keyed by
+	// object with first-arrival order recorded for deterministic restore
+	// shipping; the store models stable storage and survives this node's
+	// own crashes. lostObjs counts local checkpointable objects still
+	// awaiting restore; rejoinAt is when the node last rejoined (recovery
+	// time runs from it); ckptMark is the node's busy-cycle count at its
+	// last checkpoint tick, so a crash can account the cycles it discards.
+	ckptStore map[Ref]*ckptRec
+	ckptRefs  []Ref
+	lostObjs  int
+	rejoinAt  sim.Time
+	ckptMark  int64
+	// flushPending latches a scheduled group-commit flush: the first durable
+	// mutation after a quiet spell arms one flush timer; mutations arriving
+	// within the commit delay share it (see requestFlush in recover.go).
+	flushPending bool
+
 	Stats NodeStats
 }
 
@@ -71,10 +89,10 @@ type NodeStats struct {
 	Replies       int64 // reply messages sent
 
 	// Migration protocol counters (zero unless a policy is installed).
-	MigratesOut int64 // objects frozen, serialized and shipped from this node
-	MigratesIn  int64 // objects installed on this node
-	ForwardHops int64 // requests re-routed through a forwarding stub here
-	HintUpdates int64 // name-table (path compression) updates applied
+	MigratesOut  int64 // objects frozen, serialized and shipped from this node
+	MigratesIn   int64 // objects installed on this node
+	ForwardHops  int64 // requests re-routed through a forwarding stub here
+	HintUpdates  int64 // name-table (path compression) updates applied
 	MigrateParks int64 // requests parked waiting for an in-flight object
 
 	// Reliable-delivery counters (zero unless Config.Reliable is set).
@@ -84,6 +102,17 @@ type NodeStats struct {
 	AcksSent      int64 // cumulative ack frames sent by this node
 	Stalls        int64 // stall/brown-out windows injected on this node
 	MaxBackoff    int64 // peak per-frame retransmit timeout reached (instr)
+
+	// Crash-recovery counters (zero unless crashes/checkpointing are
+	// configured; see recover.go).
+	Crashes       int64 // fail-stop crash windows suffered by this node
+	Recoveries    int64 // rejoins (fresh incarnations) of this node
+	LostFrames    int64 // live activation frames destroyed by crashes here
+	LostMsgs      int64 // inbox/parked messages destroyed by crashes here
+	CkptsTaken    int64 // object snapshots this node shipped to its backup
+	CkptsRestored int64 // lost objects restored on this node from checkpoints
+	StaleRejected int64 // frames rejected (or discarded at link reset) as stale-incarnation
+	ReqRetries    int64 // serving-request retries issued by this frontend
 }
 
 // add accumulates other into s.
@@ -111,6 +140,14 @@ func (s *NodeStats) add(other *NodeStats) {
 	if other.MaxBackoff > s.MaxBackoff {
 		s.MaxBackoff = other.MaxBackoff
 	}
+	s.Crashes += other.Crashes
+	s.Recoveries += other.Recoveries
+	s.LostFrames += other.LostFrames
+	s.LostMsgs += other.LostMsgs
+	s.CkptsTaken += other.CkptsTaken
+	s.CkptsRestored += other.CkptsRestored
+	s.StaleRejected += other.StaleRejected
+	s.ReqRetries += other.ReqRetries
 }
 
 // NewObject installs state as a new object on this node and returns its
@@ -138,6 +175,16 @@ func (n *NodeRT) Object(ref Ref) *Object {
 
 // State returns the application state of a local object.
 func (n *NodeRT) State(ref Ref) any { return n.Object(ref).State }
+
+// ObjectLost reports whether ref — which must be born on this node — has
+// crash-lost state awaiting restore. Harnesses use it to avoid starting
+// roots on an unavailable target (see apps/serve's retry loop).
+func (n *NodeRT) ObjectLost(ref Ref) bool {
+	if int(ref.Node) != n.ID {
+		panic("core: ObjectLost queried off the birth node")
+	}
+	return n.objects[ref.Index].lost
+}
 
 // LiveFrames returns the number of checked-out frames on this node.
 func (n *NodeRT) LiveFrames() int64 { return n.pool.Live }

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/sim"
+
 // Object is one program object: application state owned by exactly one
 // node, reachable machine-wide through its Ref. Method invocations execute
 // on the owner (the owner-computes rule); the runtime performs the name
@@ -54,7 +56,39 @@ type Object struct {
 	// moves counts completed migrations of this object (never reset;
 	// policies use it to bound per-object churn).
 	moves int32
+
+	// Crash-recovery state (see recover.go; all zero unless crashes and/or
+	// checkpointing are configured). lost marks state destroyed by a
+	// fail-stop crash of the owner: the entry stays in the table so routing
+	// still works, but requests park until (and unless) the object is
+	// restored from its latest checkpoint. mutVer counts durable mutations;
+	// snapVer is the version covered by the last snapshot shipped to the
+	// backup; ackVer is the highest version the backup has acknowledged.
+	// deferred holds replies of durable mutations not yet covered by an
+	// acked checkpoint (group commit): they are released when the covering
+	// ack arrives, and dropped — for the client to retry — if a crash rolls
+	// the mutation back first.
+	// snapAt records when the last snapshot shipped; an object whose acked
+	// version lags its shipped version past a full checkpoint period is
+	// re-shipped (the snapshot or its ack died with a crashed backup).
+	lost     bool
+	mutVer   int64
+	snapVer  int64
+	ackVer   int64
+	snapAt   sim.Time
+	deferred []deferredReply
 }
+
+// deferredReply is one durable-mutation reply awaiting its checkpoint ack.
+type deferredReply struct {
+	cont Cont
+	val  Word
+	ver  int64
+}
+
+// Lost reports whether the object's state was destroyed by a crash and has
+// not (yet) been restored from a checkpoint.
+func (o *Object) Lost() bool { return o.lost }
 
 // Locked reports whether the object's lock is currently held.
 func (o *Object) Locked() bool { return o.locked }

@@ -45,6 +45,11 @@ type sendLink struct {
 	pending []*relFrame // unacked frames, in sequence order
 	timer   *sim.Timer  // earliest-deadline retransmit timer
 	timerAt sim.Time
+	// epoch is the link incarnation (the sum of both endpoints' incarnation
+	// numbers, see recover.go). Frames and acks are stamped with it at
+	// transmission time; it only ever changes inside a link reset that also
+	// re-sequences, so an epoch uniquely determines a sequence space.
+	epoch int32
 	// arrivalHigh is the latest expected arrival among frames sent on this
 	// link. Delivery is released in order, so no frame can be acked before
 	// every earlier frame has arrived; deadlines are computed from this
@@ -71,6 +76,10 @@ type recvLink struct {
 	buf      map[uint64]*Msg // out-of-order frames beyond cursor+1
 	ackTimer *sim.Timer      // pending delayed-ack timer
 	acked    uint64          // cursor value covered by the last ack sent
+	// epoch mirrors sendLink.epoch on the receive side: frames from an
+	// older incarnation are rejected, a newer incarnation implicitly resets
+	// the sequence space (cursor 0, buffer dropped).
+	epoch int32
 }
 
 // reliable reports whether the exactly-once layer is engaged.
@@ -110,7 +119,11 @@ func (n *NodeRT) outLink(dest int) *sendLink {
 	}
 	l := n.relOut[dest]
 	if l == nil {
-		l = &sendLink{to: dest}
+		// A lazily-created link MUST start at the current incarnation epoch:
+		// initializing to zero would let a retransmit from a pre-crash
+		// incarnation be accepted (via implicit advance) at a rejoined node
+		// before any new-epoch traffic, re-executing a lost handler.
+		l = &sendLink{to: dest, epoch: n.rt.linkEpoch(n.ID, dest)}
 		n.relOut[dest] = l
 	}
 	return l
@@ -123,7 +136,8 @@ func (n *NodeRT) inLink(src int) *recvLink {
 	}
 	l := n.relIn[src]
 	if l == nil {
-		l = &recvLink{from: src, buf: make(map[uint64]*Msg)}
+		// Same epoch-initialization rule as outLink: see the comment there.
+		l = &recvLink{from: src, buf: make(map[uint64]*Msg), epoch: n.rt.linkEpoch(src, n.ID)}
 		n.relIn[src] = l
 	}
 	return l
@@ -180,9 +194,11 @@ func (rt *RT) sendFrame(from, to *NodeRT, l *sendLink, f *relFrame, depart sim.T
 		l.arrivalHigh = arrive
 	}
 	f.deadline = arrive + sim.Time(f.rto)
-	seq, msg := f.seq, f.msg
+	// The epoch is read at transmission time: a frame re-sequenced by a
+	// rejoin-driven link reset retransmits under the new epoch.
+	epoch, seq, msg := l.epoch, f.seq, f.msg
 	rt.Eng.SendAt(from.Sim, to.Sim, depart, f.lat, f.words,
-		func() { rt.recvFrame(to, from.ID, seq, msg) })
+		func() { rt.recvFrame(to, from.ID, epoch, seq, msg) })
 }
 
 // armRetransmit (re)schedules the link's retransmit timer at the earliest
@@ -241,11 +257,28 @@ func (rt *RT) retransmit(n *NodeRT, l *sendLink) {
 	rt.armRetransmit(n, l)
 }
 
-// recvFrame is the receive path of the reliable layer: duplicate
-// suppression, in-order release to the inbox, and ack scheduling. It runs
-// at frame arrival time on the destination node.
-func (rt *RT) recvFrame(n *NodeRT, from int, seq uint64, msg *Msg) {
+// recvFrame is the receive path of the reliable layer: incarnation
+// filtering, duplicate suppression, in-order release to the inbox, and ack
+// scheduling. It runs at frame arrival time on the destination node.
+func (rt *RT) recvFrame(n *NodeRT, from int, epoch int32, seq uint64, msg *Msg) {
 	l := n.inLink(from)
+	if epoch < l.epoch {
+		// A retransmit from a previous incarnation of this link (the sender
+		// or this node crashed since it was stamped). Its sequence numbers
+		// belong to a dead sequence space — accepting it could re-execute a
+		// handler the crash already rolled back. Drop; the sender's link
+		// reset will re-sequence and resend whatever is still owed.
+		n.charge(instr.OpMsg, rt.Model.MsgRecvBase)
+		n.Stats.StaleRejected++
+		return
+	}
+	if epoch > l.epoch {
+		// First frame of a newer incarnation: adopt it and reset the
+		// sequence space. Anything buffered belongs to the old epoch.
+		l.epoch = epoch
+		l.cursor, l.acked = 0, 0
+		clear(l.buf)
+	}
 	if seq <= l.cursor || l.buf[seq] != nil {
 		// Already delivered (or queued for delivery): a wire duplicate or a
 		// retransmission whose ack was lost. Discard, pay the dispatch that
@@ -305,7 +338,7 @@ func (rt *RT) scheduleAck(n *NodeRT, l *recvLink) {
 func (rt *RT) sendAck(n *NodeRT, l *recvLink) {
 	covered := int64(l.cursor - l.acked)
 	l.acked = l.cursor
-	cursor := l.cursor
+	epoch, cursor := l.epoch, l.cursor
 	n.charge(instr.OpMsg, rt.Model.ReplySend)
 	n.Stats.AcksSent++
 	rt.traceEvent(n, uint8(trace.KAckBatch), nil, covered)
@@ -314,14 +347,20 @@ func (rt *RT) sendAck(n *NodeRT, l *recvLink) {
 	// are NIC-level and must not queue behind a busy CPU, or a loaded
 	// receiver would provoke spurious retransmissions from every sender.
 	rt.Eng.SendAt(n.Sim, peer.Sim, rt.Eng.Now(), rt.Model.ReplyLatency, ackWords,
-		func() { rt.recvAck(peer, n.ID, cursor) })
+		func() { rt.recvAck(peer, n.ID, epoch, cursor) })
 }
 
 // recvAck applies a cumulative ack on the sending side: every pending frame
 // at or below the cursor is settled, and the retransmit timer is re-armed
-// for whatever remains. Stale (reordered) acks are harmless no-ops.
-func (rt *RT) recvAck(n *NodeRT, from int, cursor uint64) {
+// for whatever remains. Stale (reordered) acks are harmless no-ops; an ack
+// from a different link incarnation is dropped outright — its cursor counts
+// a sequence space this link no longer uses.
+func (rt *RT) recvAck(n *NodeRT, from int, epoch int32, cursor uint64) {
 	l := n.outLink(from)
+	if epoch != l.epoch {
+		n.Stats.StaleRejected++
+		return
+	}
 	keep := l.pending[:0]
 	for _, f := range l.pending {
 		if f.seq > cursor {
@@ -358,6 +397,10 @@ func (rt *RT) installFaults() {
 		case sim.FaultStall, sim.FaultSlow:
 			n.Stats.Stalls++
 			rt.traceEvent(n, uint8(trace.KStall), nil, int64(aux))
+		case sim.FaultCrash:
+			rt.onCrash(n, aux)
+		case sim.FaultRejoin:
+			rt.onRejoin(n)
 		}
 	})
 }

@@ -247,8 +247,24 @@ func TestValidateConfig(t *testing.T) {
 		{"rto base over cap", mdl, func(c *Config) { c.Reliable = true; c.RetransmitBase = 100; c.RetransmitCap = 50 }, "exceeds RetransmitCap"},
 		{"drop probability out of range", mdl, func(c *Config) { c.Faults = &sim.Faults{Drop: 1.5}; c.Reliable = true }, "out of range"},
 		{"lossy without reliable", mdl, func(c *Config) { c.Faults = &sim.Faults{Drop: 0.01} }, "Reliable is off"},
+		{"crashes without reliable", mdl, func(c *Config) { c.Faults = &sim.Faults{CrashEvery: 1000, CrashLen: 100} }, "Reliable is off"},
+		{"crashes with migration", mdl, func(c *Config) {
+			c.Reliable = true
+			c.Faults = &sim.Faults{CrashEvery: 1000, CrashLen: 100}
+			c.Migration = &chaosPolicy{}
+		}, "without migration"},
+		{"negative checkpoint period", mdl, func(c *Config) { c.CheckpointPeriod = -1 }, "CheckpointPeriod"},
+		{"crash window too long", mdl, func(c *Config) {
+			c.Reliable = true
+			c.Faults = &sim.Faults{CrashEvery: 100, CrashLen: 100}
+		}, "CrashLen"},
 		{"valid default", mdl, func(c *Config) {}, ""},
 		{"valid lossy reliable", mdl, func(c *Config) { c.Faults = lossFaults(1, 0.05); c.Reliable = true }, ""},
+		{"valid crashy checkpointed", mdl, func(c *Config) {
+			c.Reliable = true
+			c.Faults = &sim.Faults{CrashEvery: 100_000, CrashLen: 5_000}
+			c.CheckpointPeriod = 5_000
+		}, ""},
 	}
 	for _, c := range cases {
 		cfg := DefaultHybrid()

@@ -20,6 +20,13 @@ type RT struct {
 
 	// heartbeat is set once the periodic migration tick has been scheduled.
 	heartbeat bool
+
+	// Crash-recovery state (see recover.go). incs holds per-node incarnation
+	// numbers (bumped at each rejoin); ckptStarted latches the checkpoint
+	// tick; recov aggregates machine-wide recovery accounting.
+	incs        []int32
+	ckptStarted bool
+	recov       RecoveryStats
 }
 
 // NewRT builds a runtime over eng with the given machine model, resolved
@@ -37,6 +44,7 @@ func NewRT(eng *sim.Engine, mdl *machine.Model, prog *Program, cfg Config) *RT {
 		cfg.MaxStackDepth = 1024
 	}
 	rt := &RT{Eng: eng, Model: mdl, Cfg: cfg, Prog: prog}
+	rt.incs = make([]int32, eng.NumNodes())
 	rt.Nodes = make([]*NodeRT, eng.NumNodes())
 	for i := range rt.Nodes {
 		rt.Nodes[i] = &NodeRT{ID: i, Sim: eng.Node(i), rt: rt}
@@ -85,6 +93,7 @@ func (rt *RT) StartOn(node int, m *Method, target Ref, res *Result, args ...Word
 // completion time (the maximum node clock).
 func (rt *RT) Run() sim.Time {
 	rt.startHeartbeat()
+	rt.startCheckpoints()
 	rt.Eng.Run()
 	return rt.Eng.MaxClock()
 }
@@ -98,7 +107,11 @@ func (rt *RT) RunOne(sn *sim.Node) bool {
 		rt.handleMsg(n, msg)
 		return true
 	}
-	if fr := n.runq.pop(); fr != nil {
+	for fr := n.runq.pop(); fr != nil; fr = n.runq.pop() {
+		if fr.dead {
+			// Abandoned by a crash after being enqueued; drain silently.
+			continue
+		}
 		rt.runContext(n, fr)
 		return true
 	}

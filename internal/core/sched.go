@@ -27,6 +27,11 @@ func (rt *RT) runContext(n *NodeRT, fr *Frame) {
 		}
 		fr.lockObj = obj
 	}
+	if fr.M.Durable && rt.checkpointing() {
+		if obj := n.localObject(fr.Self); obj != nil {
+			rt.noteDurable(n, fr.M, obj)
+		}
+	}
 	n.charge(instr.OpCall, rt.Model.CCall)
 	prevM := n.curM
 	n.curM = m
@@ -65,6 +70,11 @@ func (rt *RT) retire(n *NodeRT, fr *Frame) {
 	rt.traceEvent(n, uint8(trace.KComplete), fr.M, 0)
 	if fr.lockObj != nil {
 		next := fr.lockObj.unlock()
+		for next != nil && next.dead {
+			// A crash abandoned this waiter while it was parked on the lock;
+			// pass the lock over it.
+			next = fr.lockObj.unlock()
+		}
 		if next != nil {
 			// Transfer the lock to the next parked activation and schedule it.
 			next.lockObj = fr.lockObj

@@ -131,6 +131,15 @@ type Config struct {
 	// MaxMsgWords overrides DefaultMaxMsgWords when positive.
 	MaxMsgWords int
 
+	// CheckpointPeriod is the virtual-time interval between checkpoint ticks
+	// (see recover.go): every period, each node snapshots the durable words
+	// of its dirty Checkpointable objects to a backup node, from which a
+	// crash-lost object is restored when its owner rejoins. Zero disables
+	// checkpointing — crashes then lose object state permanently (the
+	// no-recovery baseline of Table 10). Incompatible with Migration
+	// (checkpoint/restore assumes static placement).
+	CheckpointPeriod Instr
+
 	// Faults, if non-nil, makes the simulated network misbehave: message
 	// drops, duplicates, reordering, per-node stalls and brown-outs (see
 	// sim.Faults). A lossy configuration (Drop or Dup > 0) requires

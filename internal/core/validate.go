@@ -45,5 +45,18 @@ func ValidateConfig(mdl *machine.Model, cfg Config) error {
 		return fmt.Errorf("core: Faults can drop or duplicate messages (Drop=%g, Dup=%g) but Reliable is off; "+
 			"handlers would be lost or run twice — set Config.Reliable", cfg.Faults.Drop, cfg.Faults.Dup)
 	}
+	if cfg.CheckpointPeriod < 0 {
+		return fmt.Errorf("core: CheckpointPeriod = %d is negative; use 0 to disable checkpointing", cfg.CheckpointPeriod)
+	}
+	if cfg.Faults.Crashy() {
+		if !cfg.Reliable {
+			return fmt.Errorf("core: Faults crash nodes (CrashEvery=%d) but Reliable is off; "+
+				"rejoin needs the link layer's incarnation epochs to reject stale frames — set Config.Reliable", cfg.Faults.CrashEvery)
+		}
+		if cfg.Migration != nil {
+			return fmt.Errorf("core: Faults crash nodes but a Migration policy is installed; " +
+				"checkpoint/restore assumes static placement (owner == birth node) — run crashes without migration")
+		}
+	}
 	return nil
 }

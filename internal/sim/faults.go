@@ -53,6 +53,17 @@ type Faults struct {
 	SlowLen Time
 	// SlowFactor is the clock multiplier during a brown-out (>= 2).
 	SlowFactor int
+
+	// CrashEvery, if positive, fail-stop crashes one node for CrashLen
+	// every ~CrashEvery of virtual time (intervals drawn from
+	// [0.5,1.5)*CrashEvery, measured from the previous victim's rejoin, so
+	// at most one node is down at any moment). A crashed node loses every
+	// message addressed to it during the window; the runtime layer's crash
+	// observer is expected to discard the node's volatile state and, on
+	// rejoin, bump its incarnation. Requires CrashLen < CrashEvery.
+	CrashEvery Time
+	// CrashLen is the downtime of one crash window.
+	CrashLen Time
 }
 
 // Validate rejects out-of-range fault parameters with a descriptive error.
@@ -88,6 +99,15 @@ func (f *Faults) Validate() error {
 			return fmt.Errorf("sim: Faults.SlowFactor = %d must be >= 2 during brown-outs", f.SlowFactor)
 		}
 	}
+	if f.CrashEvery < 0 || f.CrashLen < 0 {
+		return fmt.Errorf("sim: Faults crash windows must be non-negative")
+	}
+	if f.CrashEvery > 0 && f.CrashLen <= 0 {
+		return fmt.Errorf("sim: Faults.CrashEvery = %d needs CrashLen > 0", f.CrashEvery)
+	}
+	if f.CrashEvery > 0 && f.CrashLen >= f.CrashEvery {
+		return fmt.Errorf("sim: Faults.CrashLen = %d must be < CrashEvery = %d (a node must be up longer than it is down)", f.CrashLen, f.CrashEvery)
+	}
 	return nil
 }
 
@@ -96,12 +116,17 @@ func (f *Faults) active() bool {
 	if f == nil {
 		return false
 	}
-	return f.Drop > 0 || f.Dup > 0 || f.Reorder > 0 || f.StallEvery > 0 || f.SlowEvery > 0
+	return f.Drop > 0 || f.Dup > 0 || f.Reorder > 0 || f.StallEvery > 0 || f.SlowEvery > 0 || f.CrashEvery > 0
 }
 
 // Lossy reports whether the configuration can lose or duplicate messages —
 // in which case the runtime above must provide reliable delivery.
 func (f *Faults) Lossy() bool { return f != nil && (f.Drop > 0 || f.Dup > 0) }
+
+// Crashy reports whether the configuration fail-stop crashes nodes — in
+// which case the runtime above must provide reliable delivery and (for any
+// state to survive) a checkpoint/restore protocol.
+func (f *Faults) Crashy() bool { return f != nil && f.CrashEvery > 0 }
 
 // FaultKind classifies one injected fault, for the observer hook.
 type FaultKind uint8
@@ -117,9 +142,13 @@ const (
 	FaultStall
 	// FaultSlow: a node entered a brown-out (clock-slowdown) window.
 	FaultSlow
+	// FaultCrash: a node fail-stop crashed (volatile state lost).
+	FaultCrash
+	// FaultRejoin: a crashed node came back up with a fresh incarnation.
+	FaultRejoin
 )
 
-var faultNames = [...]string{"drop", "dup", "jitter", "stall", "slow"}
+var faultNames = [...]string{"drop", "dup", "jitter", "stall", "slow", "crash", "rejoin"}
 
 // String returns the fault kind name.
 func (k FaultKind) String() string {
@@ -143,6 +172,11 @@ type FaultStats struct {
 	Jitters int64
 	Stalls  int64
 	Slows   int64
+	Crashes int64
+	Rejoins int64
+	// CrashDrops counts messages lost because their destination was down
+	// when they arrived (distinct from wire Drops).
+	CrashDrops int64
 }
 
 // faultState is the engine's live fault-injection state.
@@ -227,6 +261,10 @@ func (e *Engine) observeFault(kind FaultKind, from, to *Node, words int, aux Tim
 		e.faultStats.Stalls++
 	case FaultSlow:
 		e.faultStats.Slows++
+	case FaultCrash:
+		e.faultStats.Crashes++
+	case FaultRejoin:
+		e.faultStats.Rejoins++
 	}
 	if e.faults.obs != nil {
 		e.faults.obs(kind, from.ID, to.ID, words, aux)
@@ -260,6 +298,41 @@ func (e *Engine) startFaultClock() {
 			})
 		}
 	}
+	if cfg.CrashEvery > 0 {
+		e.scheduleCrashes()
+	}
+}
+
+// scheduleCrashes starts the global fail-stop crash generator. Unlike the
+// per-node stall/slow windows, crashes are drawn from a single engine-wide
+// clock with the next interval measured from the previous victim's rejoin,
+// so at most one node is down at any moment — a checkpoint backup is never
+// down at the same time as its primary. The victim for each window is drawn
+// from the same seeded rng, keeping replays byte-identical.
+func (e *Engine) scheduleCrashes() {
+	f := e.faults
+	cfg := f.cfg
+	var fire func()
+	fire = func() {
+		if e.PendingWork() == 0 {
+			return
+		}
+		n := e.nodes[f.rng.IntN(len(e.nodes))]
+		n.downUntil = e.now + cfg.CrashLen
+		// A down node is also stalled: the pump-gating machinery defers any
+		// scheduled pump to the window edge, so nothing executes while down.
+		if n.stallUntil < n.downUntil {
+			n.stallUntil = n.downUntil
+		}
+		e.observeFault(FaultCrash, n, n, 0, cfg.CrashLen)
+		e.ScheduleService(n.downUntil, func() {
+			e.observeFault(FaultRejoin, n, n, 0, 0)
+			e.Wake(n)
+			// Next crash interval starts at this rejoin.
+			e.ScheduleService(e.now+f.interval(cfg.CrashEvery), fire)
+		})
+	}
+	e.ScheduleService(f.interval(cfg.CrashEvery), fire)
 }
 
 // scheduleWindow schedules the recurring window opener for one node.

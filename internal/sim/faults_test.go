@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/instr"
@@ -97,6 +98,11 @@ func TestFaultsValidate(t *testing.T) {
 		{StallEvery: 100},            // no StallLen
 		{SlowEvery: 100, SlowLen: 5}, // no SlowFactor
 		{SlowEvery: 100, SlowLen: 5, SlowFactor: 1},
+		{CrashEvery: 100},                 // no CrashLen
+		{CrashEvery: -1},                  // negative interval
+		{CrashLen: -5},                    // negative downtime
+		{CrashEvery: 100, CrashLen: 100},  // node down as long as it is up
+		{CrashEvery: 100, CrashLen: 5000}, // downtime exceeds interval
 	}
 	for i, f := range bad {
 		if err := f.Validate(); err == nil {
@@ -109,6 +115,7 @@ func TestFaultsValidate(t *testing.T) {
 		{Drop: 0.05, Dup: 0.01, Reorder: 0.1, JitterMax: 100},
 		{StallEvery: 1000, StallLen: 50},
 		{SlowEvery: 1000, SlowLen: 50, SlowFactor: 4},
+		{CrashEvery: 1000, CrashLen: 50},
 	}
 	for i, f := range good {
 		if err := f.Validate(); err != nil {
@@ -214,5 +221,87 @@ func TestServiceEventsDoNotSustainEachOther(t *testing.T) {
 	}
 	if ticks < 4 {
 		t.Fatalf("services ticked %d times: they stopped while real work remained", ticks)
+	}
+}
+
+// TestCrashWindowsOpen: a crash fault config opens fail-stop windows while
+// the machine has real work; every crash gets a matching rejoin; the victim
+// is down for exactly the configured window; and — because the global crash
+// clock measures each interval from the previous victim's rejoin — no two
+// nodes are ever down at once.
+func TestCrashWindowsOpen(t *testing.T) {
+	eng := NewEngine(4)
+	newFifo(eng, 1)
+	eng.SetFaults(&Faults{Seed: 7, CrashEvery: 300, CrashLen: 40})
+	type window struct {
+		node     int
+		from, to Time
+	}
+	var crashes []window
+	eng.SetFaultObserver(func(kind FaultKind, from, to int, words int, aux Time) {
+		switch kind {
+		case FaultCrash:
+			crashes = append(crashes, window{from, eng.Now(), eng.Now() + aux})
+			if !eng.Node(from).Down() {
+				t.Errorf("node %d not Down() at its own crash", from)
+			}
+		case FaultRejoin:
+			if len(crashes) == 0 {
+				t.Fatal("rejoin before any crash")
+			}
+			w := crashes[len(crashes)-1]
+			if from != w.node || eng.Now() != w.to {
+				t.Errorf("rejoin of node %d at %d, want node %d at %d", from, eng.Now(), w.node, w.to)
+			}
+		}
+	})
+	for i := Time(50); i <= 3000; i += 50 {
+		eng.Schedule(i, func() {})
+	}
+	eng.Run()
+	st := eng.FaultStats()
+	if st.Crashes == 0 {
+		t.Fatal("no crash window opened over 3000 ticks with CrashEvery=300")
+	}
+	if st.Crashes != st.Rejoins {
+		t.Fatalf("%d crashes but %d rejoins", st.Crashes, st.Rejoins)
+	}
+	for i := 1; i < len(crashes); i++ {
+		if crashes[i].from < crashes[i-1].to {
+			t.Fatalf("overlapping crash windows: node %d down until %d, node %d crashed at %d",
+				crashes[i-1].node, crashes[i-1].to, crashes[i].node, crashes[i].from)
+		}
+	}
+}
+
+// TestCrashScheduleDeterministic: equal seeds and equal crash configs
+// produce identical victim sequences and window times; a different seed
+// produces a different schedule.
+func TestCrashScheduleDeterministic(t *testing.T) {
+	run := func(seed uint64) [][2]int64 {
+		eng := NewEngine(4)
+		newFifo(eng, 1)
+		eng.SetFaults(&Faults{Seed: seed, CrashEvery: 300, CrashLen: 40})
+		var sched [][2]int64
+		eng.SetFaultObserver(func(kind FaultKind, from, to int, words int, aux Time) {
+			if kind == FaultCrash {
+				sched = append(sched, [2]int64{int64(from), int64(eng.Now())})
+			}
+		})
+		for i := Time(50); i <= 3000; i += 50 {
+			eng.Schedule(i, func() {})
+		}
+		eng.Run()
+		return sched
+	}
+	a, b, c := run(9), run(9), run(10)
+	if len(a) == 0 {
+		t.Fatal("no crashes scheduled")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different crash schedules:\n%v\n%v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds produced identical crash schedules: %v", a)
 	}
 }

@@ -49,11 +49,17 @@ type Node struct {
 
 	// Fault-injection windows (see faults.go). stallUntil freezes the node
 	// until that time; slowUntil/slowFactor multiply every charged
-	// instruction during a brown-out.
+	// instruction during a brown-out; downUntil marks a fail-stop crash
+	// window during which every arriving message is lost.
 	stallUntil Time
 	slowUntil  Time
 	slowFactor int
+	downUntil  Time
 }
+
+// Down reports whether the node is inside a fail-stop crash window at the
+// current event time.
+func (n *Node) Down() bool { return n.downUntil > n.eng.now }
 
 // Engine is the discrete-event core.
 type Engine struct {
@@ -272,8 +278,14 @@ func (e *Engine) SendAt(from, to *Node, depart, latency Time, words int, deliver
 }
 
 // deliverAt schedules one physical delivery of a message at node `to`.
+// A message arriving inside the destination's crash window is lost — the
+// node's NIC is down with the rest of it.
 func (e *Engine) deliverAt(to *Node, arrive Time, deliver func()) {
 	e.Schedule(arrive, func() {
+		if to.downUntil > e.now {
+			e.faultStats.CrashDrops++
+			return
+		}
 		to.MsgsRecv++
 		deliver()
 		e.Wake(to)

@@ -76,6 +76,18 @@ const (
 	KReqArrive
 	// KReqDone: a serving request determined its reply (Aux: request id).
 	KReqDone
+	// KCrash: this node fail-stop crashed, losing its volatile state
+	// (Aux: crash window length in virtual time).
+	KCrash
+	// KRecover: a lost object was restored on this node from its latest
+	// checkpoint (Aux: the object's packed Ref).
+	KRecover
+	// KCheckpoint: an object's state was snapshotted to its backup node
+	// (Aux: snapshot payload words).
+	KCheckpoint
+	// KReqRetry: a serving frontend re-issued a request whose deadline
+	// expired (Aux: request id).
+	KReqRetry
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -87,6 +99,7 @@ var kindNames = [NumKinds]string{
 	"migstart", "migarrive", "fwdhop",
 	"drop", "dupwire", "dupsupp", "retransmit", "ackbatch", "stall",
 	"hoplimit", "lockblock", "reqarrive", "reqdone",
+	"crash", "recover", "checkpoint", "reqretry",
 }
 
 // auxMeanings documents, per Kind, what Event.Aux carries — the one table
@@ -117,6 +130,10 @@ var auxMeanings = [NumKinds]string{
 	KLockBlock:     "unused (0)",
 	KReqArrive:     "serving request id (pairs with the KReqDone of the same id)",
 	KReqDone:       "serving request id (pairs with the KReqArrive of the same id)",
+	KCrash:         "crash window length in virtual time",
+	KRecover:       "packed Ref of the restored object",
+	KCheckpoint:    "snapshot payload words shipped to the backup",
+	KReqRetry:      "serving request id of the re-issued attempt",
 }
 
 // AuxMeaning returns the documented Aux semantics for kind k ("" only for
