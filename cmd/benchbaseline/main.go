@@ -14,9 +14,18 @@
 // as seconds with workers=1 and speedup=1 — single-run baselines the
 // trajectory can diff against.
 //
+// A scale-4096 entry times the headline scale run — a million-object SOR on
+// a 4096-node machine through the fat-tree interconnect — so the trajectory
+// tracks the engine's full-scale cost (one deterministic simulation is one
+// thread: workers=1, speedup=1).
+//
 // The speedup column is wall-clock and host-dependent: on an M-core box the
 // driver entries should approach min(M, cells), and `make bench-baseline`
 // regenerates the file in CI so it tracks the current code on a known host.
+// On a single-CPU host the parallel width is 1 and the parallel timing is
+// skipped entirely (serial == parallel, speedup 1.0): there is no
+// parallelism to measure, and timing -j 2 anyway would only record
+// goroutine-scheduling overhead as a fictitious slowdown.
 package main
 
 import (
@@ -63,8 +72,10 @@ func main() {
 
 	tablesBin := filepath.Join(tmp, "tables")
 	sweepBin := filepath.Join(tmp, "sweep")
+	concertBin := filepath.Join(tmp, "concert")
 	build(tablesBin, "./cmd/tables")
 	build(sweepBin, "./cmd/sweep")
+	build(concertBin, "./cmd/concert")
 
 	drivers := []struct {
 		name string
@@ -81,8 +92,15 @@ func main() {
 
 	var entries []Entry
 	for _, d := range drivers {
+		// One untimed warm-up: the first invocation pays one-time costs
+		// (page-cache faults for the binary, CPU frequency ramp) that would
+		// otherwise land entirely on the serial column and skew the ratio.
+		timeRun(d.bin, append(d.args, "-j", "1"))
 		serial := bestOf(*reps, d.bin, append(d.args, "-j", "1"))
-		parallel := bestOf(*reps, d.bin, append(d.args, "-j", strconv.Itoa(*workers)))
+		parallel := serial
+		if *workers > 1 {
+			parallel = bestOf(*reps, d.bin, append(d.args, "-j", strconv.Itoa(*workers)))
+		}
 		entries = append(entries, Entry{
 			Name:      d.name,
 			SerialS:   round(serial),
@@ -91,6 +109,7 @@ func main() {
 			Speedup:   round(serial / parallel),
 		})
 	}
+	entries = append(entries, scaleEntry(concertBin, *reps))
 	if !*skipMicro {
 		entries = append(entries, microEntries(*micro, *benchtime)...)
 	}
@@ -114,15 +133,33 @@ func main() {
 	t.Render(os.Stdout)
 }
 
-// defaultJ picks the parallel width: the exp runner's default (GOMAXPROCS),
-// but never below 2 — on a single-CPU host the "parallel" timing would
-// otherwise silently repeat the serial run and record workers as 1, making
-// the speedup column meaningless.
+// defaultJ picks the parallel width: the exp runner's default (GOMAXPROCS).
+// On a single-CPU host this is 1 and the parallel timing is skipped (the
+// entry records serial == parallel, speedup 1.0): forcing -j 2 there, as an
+// earlier version did, measures goroutine-scheduling overhead with zero
+// actual parallelism and records fictitious slowdowns (0.93-0.96x) that say
+// nothing about the code.
 func defaultJ() int {
-	if n := exp.DefaultWorkers(); n > 2 {
-		return n
+	return exp.DefaultWorkers()
+}
+
+// scaleEntry times the headline scale run: a million-object SOR (1024x1024
+// grid) on a 4096-node machine through the fat-tree interconnect. One
+// deterministic simulation is inherently a single-threaded timing, so the
+// entry records serial == parallel with workers 1; it exists so the perf
+// trajectory tracks the engine's cost at full scale, not just at the small
+// table configurations. GOGC is raised for the child as in `make scale`:
+// the grid build allocates ~1M long-lived objects up front.
+func scaleEntry(concertBin string, reps int) Entry {
+	args := []string{"-app", "sor", "-nodes", "4096", "-size", "1024", "-iters", "1", "-net", "fattree"}
+	env := append(os.Environ(), "GOGC=300")
+	best := timeRunEnv(concertBin, args, env)
+	for i := 1; i < reps; i++ {
+		if s := timeRunEnv(concertBin, args, env); s < best {
+			best = s
+		}
 	}
-	return 2
+	return Entry{Name: "scale-4096", SerialS: round(best), ParallelS: round(best), Workers: 1, Speedup: 1}
 }
 
 // build compiles pkg into bin via the go tool.
@@ -138,7 +175,13 @@ func build(bin, pkg string) {
 // stdout, and returns the wall-clock seconds. A nonzero exit is fatal: a
 // baseline over a failed run would be garbage.
 func timeRun(bin string, args []string) float64 {
+	return timeRunEnv(bin, args, nil)
+}
+
+// timeRunEnv is timeRun with an explicit child environment (nil inherits).
+func timeRunEnv(bin string, args, env []string) float64 {
 	cmd := exec.Command(bin, args...)
+	cmd.Env = env
 	cmd.Stdout = io.Discard
 	cmd.Stderr = os.Stderr
 	start := time.Now()

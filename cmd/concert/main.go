@@ -16,6 +16,12 @@
 //	                     [-rate REQ/S] [-duration-ms MS] [-slo-us US]
 //	                     [-policy none|threshold|rebalance] [-loss P]
 //
+// Every app accepts -net fattree [-radix R] to route messages through a
+// simulated fat-tree interconnect (hop-count latency plus per-link
+// contention) instead of the flat uniform-latency model, and -event-queue
+// calendar|heap to pick the simulator's internal event queue (the results
+// are byte-identical either way; calendar is the fast default).
+//
 // Add -verify to cross-check the simulated result against the native Go
 // reference implementation (for serve: every read-modify-write applied
 // exactly once). Add -profile for the per-method cycle attribution table
@@ -65,10 +71,19 @@ func main() {
 	crashLen := flag.Float64("crash-len", 250, "serve: microseconds a crashed node stays down before rejoining")
 	ckptPeriod := flag.Float64("ckpt-period", 0, "serve: checkpoint period in microseconds (0 = no checkpointing)")
 	retries := flag.Int("retries", 0, "serve: max deadline-based retries per request (0 = none)")
+	netName := flag.String("net", "flat", "interconnect model: flat (uniform latency) or fattree (hop count + per-link contention)")
+	radix := flag.Int("radix", 0, "fattree: switch radix (0 = default)")
+	queueName := flag.String("event-queue", "calendar", "simulator event queue: calendar or heap (byte-identical results; host performance only)")
 	verify := flag.Bool("verify", false, "check the result against the native reference")
 	profile := flag.Bool("profile", false, "print per-method cycle attribution and the critical path")
 	traceOut := flag.String("trace-out", "", "write the run as Chrome trace_event JSON to FILE")
 	flag.Parse()
+
+	if k, ok := sim.QueueByName(*queueName); ok {
+		sim.SetDefaultQueue(k)
+	} else {
+		fatalf("unknown event queue %q (want calendar or heap)", *queueName)
+	}
 
 	mdl := machine.ByName(*machineName)
 	if mdl == nil {
@@ -91,6 +106,15 @@ func main() {
 		cfg = core.ParallelOnly()
 	default:
 		fatalf("unknown mode %q", *mode)
+	}
+
+	switch *netName {
+	case "flat":
+	case "fattree":
+		r := *radix
+		cfg.Network = func(nodes int) machine.Network { return machine.NewFatTree(nodes, r, mdl) }
+	default:
+		fatalf("unknown network model %q (want flat or fattree)", *netName)
 	}
 
 	var metrics *obsv.Metrics

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obsv"
+	"repro/internal/sim"
 )
 
 // captureTables runs the given tables at small scale with the current adorn
@@ -88,6 +89,30 @@ func TestTablesCheckDeclsZeroPerturbation(t *testing.T) {
 
 	if plain != checked {
 		t.Fatalf("tables differ with CheckDecls on:\n--- off ---\n%s\n--- on ---\n%s", plain, checked)
+	}
+}
+
+// TestTablesQueueGolden: every published table must be byte-identical under
+// the calendar event queue (the default) and the binary-heap oracle. Events
+// are totally ordered by (time, seq), so any correct priority queue
+// dequeues the identical sequence — the queue choice is host-side
+// performance, never simulated behavior.
+func TestTablesQueueGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every table twice")
+	}
+	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8, table9, table10}
+
+	adorn = nil
+	old := sim.SetDefaultQueue(sim.QueueCalendar)
+	defer sim.SetDefaultQueue(old)
+	calendar := captureTables(t, tables)
+	sim.SetDefaultQueue(sim.QueueHeap)
+	heap := captureTables(t, tables)
+
+	if calendar != heap {
+		t.Fatalf("tables differ between event queues:\n--- calendar ---\n%s\n--- heap ---\n%s",
+			calendar, heap)
 	}
 }
 

@@ -41,6 +41,7 @@ package concert
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/instr"
@@ -140,6 +141,36 @@ func SPARCStation() *Model { return machine.SPARCStation() }
 
 // ModelByName resolves "cm5", "t3d" or "sparc"; nil if unknown.
 func ModelByName(name string) *Model { return machine.ByName(name) }
+
+// Network is a topology/contention model for the interconnect; install one
+// via Config.Network to replace the flat per-message latency with
+// hop-and-link-accurate charges.
+type Network = machine.Network
+
+// FatTreeNetwork returns a Config.Network factory building a radix-ary
+// fat-tree (folded Clos) over the machine: message latency scales with the
+// hop count between source and destination subtrees, and concurrent
+// transmissions crossing the same link queue behind each other. radix <= 0
+// selects machine.DefaultRadix. The factory shape keeps each run's mutable
+// link-contention state private (see Config.Network).
+func FatTreeNetwork(model *Model, radix int) func(nodes int) machine.Network {
+	return func(nodes int) machine.Network { return machine.NewFatTree(nodes, radix, model) }
+}
+
+// SetEventQueue selects the engine-wide event-queue implementation by name:
+// "calendar" (the O(1)-amortized default) or "heap" (the binary-heap
+// oracle). Both dequeue in the identical deterministic (time, seq) order, so
+// simulated results are byte-identical; the choice is purely a host-side
+// performance matter. It returns false (changing nothing) for an unknown
+// name. Affects engines created after the call.
+func SetEventQueue(name string) bool {
+	k, ok := sim.QueueByName(name)
+	if !ok {
+		return false
+	}
+	sim.SetDefaultQueue(k)
+	return true
+}
 
 // System is one simulated machine running one program under one
 // execution-model configuration.
@@ -254,6 +285,22 @@ type Trace = trace.Buffer
 // NewTrace creates a trace buffer retaining up to capacity events
 // (capacity <= 0 selects a default).
 func NewTrace(capacity int) *Trace { return trace.NewBuffer(capacity) }
+
+// NewTraceFor creates a trace buffer sized for a machine of nodes
+// processors: roughly 1k retained events per node, clamped so retention
+// stays bounded (1M ring slots) however large the machine. For unbounded
+// runs on big machines prefer NewTraceStream, which retains nothing.
+func NewTraceFor(nodes int) *Trace { return trace.NewBuffer(trace.DefaultCapacityFor(nodes)) }
+
+// TraceStream is the O(1)-memory alternative to Trace: events are written to
+// a sink as they happen instead of being retained, so tracing a large
+// machine costs a bounded buffer regardless of run length. Install via
+// Config.Tracer.
+type TraceStream = trace.Stream
+
+// NewTraceStream creates a streaming tracer writing Timeline-format lines
+// to w. Call Flush when the run ends.
+func NewTraceStream(w io.Writer) *TraceStream { return trace.NewStream(w) }
 
 // Metrics is the observability layer over a run: per-method cycle
 // attribution that sums exactly to the node clocks, a critical-path

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestObjectArenaStablePointers: the arena hands out pointers that must stay
+// valid (same identity) however many objects are created after them — the
+// migration protocol ships and compares *Object across nodes.
+func TestObjectArenaStablePointers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewProgram()
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRT(eng, machine.CM5(), p, DefaultHybrid())
+	n := rt.Node(0)
+
+	const total = 10 * objArenaSlab
+	refs := make([]Ref, total)
+	ptrs := make([]*Object, total)
+	for i := 0; i < total; i++ {
+		refs[i] = n.NewObject(&cellState{v: int64(i)})
+		ptrs[i] = n.Object(refs[i])
+	}
+	for i := 0; i < total; i++ {
+		obj := n.Object(refs[i])
+		if obj != ptrs[i] {
+			t.Fatalf("object %d moved: %p -> %p", i, ptrs[i], obj)
+		}
+		if got := obj.State.(*cellState).v; got != int64(i) {
+			t.Fatalf("object %d state = %d", i, got)
+		}
+		if obj.Ref != refs[i] {
+			t.Fatalf("object %d ref = %v, want %v", i, obj.Ref, refs[i])
+		}
+	}
+	// Slab-adjacent objects must be distinct storage.
+	ptrs[3].localHits = 99
+	if ptrs[2].localHits == 99 || ptrs[4].localHits == 99 {
+		t.Fatal("adjacent arena objects share storage")
+	}
+}

@@ -188,7 +188,8 @@ func (rt *RT) migrateNow(n *NodeRT, obj *Object, dest int) {
 	obj.moves++
 	rt.traceEvent(n, uint8(trace.KMigrateStart), nil, int64(RefW(obj.Ref)))
 
-	stub := &Object{Ref: obj.Ref, away: true, fwdTo: int32(dest), fwdVer: obj.moves, wantMove: -1}
+	stub := n.arena.alloc()
+	*stub = Object{Ref: obj.Ref, away: true, fwdTo: int32(dest), fwdVer: obj.moves, wantMove: -1}
 	n.installEntry(obj.Ref, stub)
 
 	msg := &Msg{kind: msgMigrate, target: obj.Ref, obj: obj, from: int32(n.ID)}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// fatTreeCfg is the default hybrid config with a fat-tree network installed.
+func fatTreeCfg(radix int) Config {
+	cfg := DefaultHybrid()
+	mdl := machine.CM5()
+	cfg.Network = func(nodes int) machine.Network {
+		return machine.NewFatTree(nodes, radix, mdl)
+	}
+	return cfg
+}
+
+// TestFatTreeRunCompletes: a distributed workload under the fat-tree model
+// must produce the same answers as the flat model — topology changes when
+// things happen, never what they compute — while charging contention.
+func TestFatTreeRunCompletes(t *testing.T) {
+	run := func(cfg Config) (Word, sim.Time, *RT) {
+		p := NewProgram()
+		sum, _ := buildRemoteSum(p)
+		if err := p.Resolve(cfg.Interfaces); err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine(16)
+		rt := NewRT(eng, machine.CM5(), p, cfg)
+		driver := rt.Node(0).NewObject(nil)
+		a := rt.Node(1).NewObject(&cellState{10})  // same leaf switch as node 0
+		b := rt.Node(15).NewObject(&cellState{32}) // across the root
+		var res Result
+		rt.StartOn(0, sum, driver, &res, RefW(a), RefW(b))
+		rt.Run()
+		if !res.Done {
+			t.Fatal("sum did not complete")
+		}
+		if err := rt.CheckQuiescence(); err != nil {
+			t.Fatal(err)
+		}
+		return res.Val, eng.MaxClock(), rt
+	}
+	flatVal, flatT, _ := run(DefaultHybrid())
+	ftVal, ftT, rt := run(fatTreeCfg(4))
+	if flatVal != ftVal {
+		t.Fatalf("fat-tree changed the computed value: %v vs %v", ftVal, flatVal)
+	}
+	if ftT == flatT {
+		t.Fatalf("fat-tree did not change timing (both %d); model not engaged", ftT)
+	}
+	if rt.Network() == nil {
+		t.Fatal("Network() nil with a factory configured")
+	}
+}
+
+// TestFatTreeDeterministicRun: two identical fat-tree runs are identical —
+// the per-runtime Network instance keeps contention state private.
+func TestFatTreeDeterministicRun(t *testing.T) {
+	run := func() (sim.Time, int64, NodeStats) {
+		p := NewProgram()
+		fib := buildFib(p)
+		if err := p.Resolve(Interfaces3); err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine(8)
+		rt := NewRT(eng, machine.CM5(), p, fatTreeCfg(0))
+		self := rt.Node(0).NewObject(nil)
+		var res Result
+		rt.StartOn(0, fib, self, &res, IntW(13))
+		rt.Run()
+		return eng.MaxClock(), eng.EventCount, rt.TotalStats()
+	}
+	t1, e1, s1 := run()
+	t2, e2, s2 := run()
+	if t1 != t2 || e1 != e2 || s1 != s2 {
+		t.Fatalf("nondeterministic under fat-tree: (%d,%d) vs (%d,%d)", t1, e1, t2, e2)
+	}
+}
+
+// TestFatTreeReliableRun: the topology model composes with the reliable
+// layer (retransmissions and acks also take topology latencies).
+func TestFatTreeReliableRun(t *testing.T) {
+	p := NewProgram()
+	fib := buildFib(p)
+	if err := p.Resolve(Interfaces3); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fatTreeCfg(4)
+	cfg.Reliable = true
+	cfg.Faults = &sim.Faults{Drop: 0.05, Seed: 7}
+	eng := sim.NewEngine(8)
+	rt := NewRT(eng, machine.CM5(), p, cfg)
+	self := rt.Node(0).NewObject(nil)
+	var res Result
+	rt.StartOn(0, fib, self, &res, IntW(12))
+	rt.Run()
+	if !res.Done {
+		t.Fatal("fib did not complete under drops + fat-tree")
+	}
+	if err := rt.CheckQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -158,6 +158,25 @@ func (o *Object) note(remote bool, from int32) {
 	}
 }
 
+// Decay halves the object's access counters and sketch counts (rounding
+// down). Migration policies call it periodically so evidence ages: without
+// decay the counters only ever grow, and a placement earned by early-run
+// traffic fossilizes — a requester that dominated the first minute outvotes
+// the current traffic pattern forever. Exponential aging keeps roughly the
+// last 2*period of traffic decisive. A sketch slot decayed to zero is
+// freed (its source id cleared), exactly as if it had been displaced by
+// Misra-Gries decrements.
+func (o *Object) Decay() {
+	o.localHits >>= 1
+	o.remoteHits >>= 1
+	for i := range o.cnts {
+		o.cnts[i] >>= 1
+		if o.cnts[i] == 0 {
+			o.srcs[i] = 0
+		}
+	}
+}
+
 // resetEpoch clears the access history when the object settles on a new
 // node, so policies judge each residence on fresh evidence.
 func (o *Object) resetEpoch() {

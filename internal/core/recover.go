@@ -547,7 +547,8 @@ func (rt *RT) handleRestore(n *NodeRT, msg *Msg) {
 		if !old.lost {
 			continue // duplicate restore (idempotent, like handleMigrate)
 		}
-		obj := &Object{Ref: it.ref, State: old.State, wantMove: -1,
+		obj := n.arena.alloc()
+		*obj = Object{Ref: it.ref, State: old.State, wantMove: -1,
 			mutVer: it.ver, snapVer: it.ver, ackVer: it.ver}
 		obj.State.(Checkpointable).RestoreWords(it.words)
 		n.objects[it.ref.Index] = obj

@@ -164,6 +164,7 @@ func (rt *RT) send(from, to *NodeRT, msg *Msg, w int, lat instr.Instr) {
 			trace.PackMsg(to.ID, msg.wireSeq, w))
 	}
 	if !rt.reliable() {
+		lat = rt.netDelay(from, to, w, from.Sim.Clock, lat)
 		rt.Eng.Send(from.Sim, to.Sim, lat, w, func() { rt.deliverInbox(to, msg) })
 		return
 	}
@@ -187,7 +188,11 @@ func (rt *RT) send(from, to *NodeRT, msg *Msg, w int, lat instr.Instr) {
 // time — the NIC resends without waiting for the CPU.
 func (rt *RT) sendFrame(from, to *NodeRT, l *sendLink, f *relFrame, depart sim.Time) {
 	f.sends++
-	arrive := depart + f.lat
+	// Topology latency is computed per transmission, at the transmission's
+	// departure time: a retransmission sees the contention of its moment,
+	// not the original send's.
+	lat := rt.netDelay(from, to, f.words, depart, f.lat)
+	arrive := depart + lat
 	if l.arrivalHigh > arrive {
 		arrive = l.arrivalHigh
 	} else {
@@ -197,7 +202,7 @@ func (rt *RT) sendFrame(from, to *NodeRT, l *sendLink, f *relFrame, depart sim.T
 	// The epoch is read at transmission time: a frame re-sequenced by a
 	// rejoin-driven link reset retransmits under the new epoch.
 	epoch, seq, msg := l.epoch, f.seq, f.msg
-	rt.Eng.SendAt(from.Sim, to.Sim, depart, f.lat, f.words,
+	rt.Eng.SendAt(from.Sim, to.Sim, depart, lat, f.words,
 		func() { rt.recvFrame(to, from.ID, epoch, seq, msg) })
 }
 
@@ -346,7 +351,8 @@ func (rt *RT) sendAck(n *NodeRT, l *recvLink) {
 	// Departs at the event time of the ack timer, not the node's clock: acks
 	// are NIC-level and must not queue behind a busy CPU, or a loaded
 	// receiver would provoke spurious retransmissions from every sender.
-	rt.Eng.SendAt(n.Sim, peer.Sim, rt.Eng.Now(), rt.Model.ReplyLatency, ackWords,
+	lat := rt.netDelay(n, peer, ackWords, rt.Eng.Now(), rt.Model.ReplyLatency)
+	rt.Eng.SendAt(n.Sim, peer.Sim, rt.Eng.Now(), lat, ackWords,
 		func() { rt.recvAck(peer, n.ID, epoch, cursor) })
 }
 

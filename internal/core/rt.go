@@ -21,6 +21,9 @@ type RT struct {
 	// heartbeat is set once the periodic migration tick has been scheduled.
 	heartbeat bool
 
+	// net is this runtime's topology model instance (nil: flat latencies).
+	net machine.Network
+
 	// Crash-recovery state (see recover.go). incs holds per-node incarnation
 	// numbers (bumped at each rejoin); ckptStarted latches the checkpoint
 	// tick; recov aggregates machine-wide recovery accounting.
@@ -44,6 +47,9 @@ func NewRT(eng *sim.Engine, mdl *machine.Model, prog *Program, cfg Config) *RT {
 		cfg.MaxStackDepth = 1024
 	}
 	rt := &RT{Eng: eng, Model: mdl, Cfg: cfg, Prog: prog}
+	if cfg.Network != nil {
+		rt.net = cfg.Network(eng.NumNodes())
+	}
 	rt.incs = make([]int32, eng.NumNodes())
 	rt.Nodes = make([]*NodeRT, eng.NumNodes())
 	for i := range rt.Nodes {
@@ -75,6 +81,20 @@ func (rt *RT) installMetrics() {
 
 // Node returns the runtime state of node i.
 func (rt *RT) Node(i int) *NodeRT { return rt.Nodes[i] }
+
+// Network returns the runtime's topology model instance, nil when the flat
+// model is in use. Drivers use it to report contention statistics.
+func (rt *RT) Network() machine.Network { return rt.net }
+
+// netDelay returns the transport latency of one physical transmission
+// departing at depart: the topology model's when one is installed, else the
+// flat latency the caller computed from the model.
+func (rt *RT) netDelay(from, to *NodeRT, words int, depart sim.Time, flat instr.Instr) instr.Instr {
+	if rt.net == nil {
+		return flat
+	}
+	return rt.net.Delay(from.ID, to.ID, words, depart)
+}
 
 // StartOn seeds a root invocation of m on target (which must live on node
 // `node`), directing the result to res. Call before Run; multiple roots may

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/sim"
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
 
 // Status is what a method body returns to the runtime. Bodies are resumable
 // state machines (the shape of the C code the Concert compiler emitted):
@@ -130,6 +133,17 @@ type Config struct {
 	MigrationPeriod Instr
 	// MaxMsgWords overrides DefaultMaxMsgWords when positive.
 	MaxMsgWords int
+
+	// Network, if non-nil, is a factory for a topology/contention model
+	// (see machine.Network, e.g. machine.NewFatTree): it is called once
+	// per runtime with the machine size, and the returned instance computes
+	// the latency of every physical transmission — requests, replies,
+	// retransmissions, acks — in place of the flat NetLatency/ReplyLatency
+	// model. A factory (not an instance) because a Network carries mutable
+	// link-contention state: per-runtime instantiation keeps that state
+	// private to one run, so concurrent experiment cells never share it.
+	// Nil keeps the flat model.
+	Network func(nodes int) machine.Network
 
 	// CheckpointPeriod is the virtual-time interval between checkpoint ticks
 	// (see recover.go): every period, each node snapshots the durable words

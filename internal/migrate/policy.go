@@ -88,6 +88,29 @@ func pickDest(rt *core.RT, n *core.NodeRT, o *core.Object, minTop int32, alpha f
 	return 0, false
 }
 
+// decayAll halves every resident object's access counters, machine-wide.
+// Iteration uses the runtime's deterministic per-node object order, and
+// halving is a pure function of the counters, so decay never perturbs
+// determinism.
+func decayAll(rt *core.RT) {
+	for _, n := range rt.Nodes {
+		n.ForEachLocalObject(func(o *core.Object) { o.Decay() })
+	}
+}
+
+// decayTick advances a policy's heartbeat counter and applies one halving
+// every `every` ticks (0 disables decay). Returns the advanced counter.
+func decayTick(rt *core.RT, ticks, every int) int {
+	if every <= 0 {
+		return ticks
+	}
+	ticks++
+	if ticks%every == 0 {
+		decayAll(rt)
+	}
+	return ticks
+}
+
 // Never is the null policy: counters are maintained, nothing moves. It is
 // the control for measuring the overhead of the migration machinery alone.
 type Never struct{}
@@ -108,13 +131,22 @@ type Threshold struct {
 	Alpha    float64 // required advantage over co-resident traffic
 	MaxSkew  int     // allowed destination excess in resident objects
 	MaxMoves int     // lifetime per-object move bound
+	// DecayEvery halves every object's access counters each time this many
+	// heartbeats (Config.MigrationPeriod) elapse, so evidence ages instead
+	// of fossilizing the placement earned by early-run traffic. 0 disables
+	// decay (and with no MigrationPeriod there is no heartbeat to decay on).
+	DecayEvery int
+
+	ticks int
 }
 
 // DefaultThreshold returns a Threshold tuned for iterative kernels: an
 // object chases a clearly dominant requester after roughly an iteration of
-// evidence, and settles once co-resident traffic wins.
+// evidence, and settles once co-resident traffic wins. Counters are halved
+// every other heartbeat, keeping roughly the last four periods of traffic
+// decisive.
 func DefaultThreshold() *Threshold {
-	return &Threshold{MinTop: 96, Alpha: 1.5, MaxSkew: 1, MaxMoves: 2}
+	return &Threshold{MinTop: 96, Alpha: 1.5, MaxSkew: 1, MaxMoves: 2, DecayEvery: 2}
 }
 
 // OnAccess implements core.MigrationPolicy.
@@ -125,8 +157,10 @@ func (t *Threshold) OnAccess(rt *core.RT, n *core.NodeRT, o *core.Object, from i
 	return pickDest(rt, n, o, t.MinTop, t.Alpha, t.MaxSkew)
 }
 
-// Tick does nothing; Threshold is purely reactive.
-func (t *Threshold) Tick(rt *core.RT, now core.Instr) {}
+// Tick ages the access counters; move decisions stay purely reactive.
+func (t *Threshold) Tick(rt *core.RT, now core.Instr) {
+	t.ticks = decayTick(rt, t.ticks, t.DecayEvery)
+}
 
 // Rebalance is the periodic policy: it acts only on the runtime's
 // virtual-time heartbeat (Config.MigrationPeriod), scanning each node's
@@ -139,11 +173,17 @@ type Rebalance struct {
 	MaxSkew         int     // allowed destination excess in resident objects
 	MaxMovesPerTick int     // per-node churn bound per heartbeat
 	MaxMoves        int     // lifetime per-object move bound
+	// DecayEvery halves every object's access counters each time this many
+	// heartbeats elapse (see Threshold.DecayEvery). 0 disables decay.
+	DecayEvery int
+
+	ticks int
 }
 
-// DefaultRebalance returns a Rebalance with moderate churn bounds.
+// DefaultRebalance returns a Rebalance with moderate churn bounds and the
+// same every-other-heartbeat counter decay as DefaultThreshold.
 func DefaultRebalance() *Rebalance {
-	return &Rebalance{MinTop: 96, Alpha: 1.5, MaxSkew: 1, MaxMovesPerTick: 2, MaxMoves: 2}
+	return &Rebalance{MinTop: 96, Alpha: 1.5, MaxSkew: 1, MaxMovesPerTick: 2, MaxMoves: 2, DecayEvery: 2}
 }
 
 // OnAccess never moves; Rebalance acts only on the heartbeat.
@@ -151,8 +191,10 @@ func (r *Rebalance) OnAccess(rt *core.RT, n *core.NodeRT, o *core.Object, from i
 	return 0, false
 }
 
-// Tick implements core.MigrationPolicy: scan and request moves.
+// Tick implements core.MigrationPolicy: age the counters, then scan and
+// request moves — this tick's decisions already use the aged evidence.
 func (r *Rebalance) Tick(rt *core.RT, now core.Instr) {
+	r.ticks = decayTick(rt, r.ticks, r.DecayEvery)
 	for _, n := range rt.Nodes {
 		moved := 0
 		n.ForEachLocalObject(func(o *core.Object) {

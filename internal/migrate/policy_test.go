@@ -121,6 +121,47 @@ func TestRebalanceMovesHammeredObject(t *testing.T) {
 	}
 }
 
+// TestDecayAgesEvidence: with DecayEvery set, the periodic heartbeat halves
+// the access counters, so a long run's counters reflect recent traffic
+// rather than accumulating forever. Move thresholds are set unreachably
+// high so only the aging is observable.
+func TestDecayAgesEvidence(t *testing.T) {
+	frozen := func(decayEvery int) *migrate.Rebalance {
+		return &migrate.Rebalance{MinTop: 1 << 30, Alpha: 1e12, MaxSkew: 0,
+			MaxMovesPerTick: 0, MaxMoves: 0, DecayEvery: decayEvery}
+	}
+	const rounds = 300
+	rtA, objA := hammer(t, frozen(0), 20_000, rounds)
+	_, remoteA := rtA.Nodes[1].Object(objA).Hits()
+	if remoteA != rounds {
+		t.Fatalf("without decay remoteHits = %d, want %d (every bump counted)", remoteA, rounds)
+	}
+	rtB, objB := hammer(t, frozen(1), 20_000, rounds)
+	_, remoteB := rtB.Nodes[1].Object(objB).Hits()
+	if remoteB >= remoteA {
+		t.Fatalf("decay did not age evidence: remoteHits %d (decay) vs %d (none)", remoteB, remoteA)
+	}
+	if remoteB == 0 {
+		t.Fatal("decay zeroed the counters entirely; recent traffic should survive a halving cadence")
+	}
+	// Decay must not change what the run computes or when it finishes:
+	// halving counters is bookkeeping, not simulation behavior (moves are
+	// disabled here, so the clocks must match exactly).
+	if a, b := rtA.Eng.MaxClock(), rtB.Eng.MaxClock(); a != b {
+		t.Fatalf("decay changed run timing with migration frozen: %d vs %d", a, b)
+	}
+}
+
+// TestThresholdDecayTick: the reactive policy also ages counters on the
+// heartbeat when configured.
+func TestThresholdDecayTick(t *testing.T) {
+	pol := &migrate.Threshold{MinTop: 1 << 30, Alpha: 1e12, MaxSkew: 0, MaxMoves: 0, DecayEvery: 1}
+	rt, obj := hammer(t, pol, 20_000, 300)
+	if _, remote := rt.Nodes[1].Object(obj).Hits(); remote >= 300 {
+		t.Fatalf("Threshold.Tick did not decay: remoteHits = %d", remote)
+	}
+}
+
 // TestNeverPolicyIsFree: installing Never must not change the virtual time
 // of a run compared to no policy at all beyond the counter upkeep charges,
 // and must never migrate.

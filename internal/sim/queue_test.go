@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCalendarMatchesHeapOracle drives the calendar queue and the heap
+// oracle with identical random insert/pop/cancel/compact workloads and
+// asserts they dequeue identical (at, seq) orders. Events are totally
+// ordered, so any divergence is a queue bug, not a tie-break artifact.
+func TestCalendarMatchesHeapOracle(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		cal := newQueue(QueueCalendar)
+		orc := newQueue(QueueHeap)
+
+		var now Time // engine invariant: no push below the last popped time
+		var seq uint64
+		push := func(at Time, tm *Timer) {
+			seq++
+			ev := event{at: at, seq: seq, timer: tm}
+			cal.push(ev)
+			orc.push(ev)
+		}
+		var timers []*Timer
+
+		for op := 0; op < 4000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // near-future push, frequent same-instant ties
+				push(now+Time(rng.Intn(50)), nil)
+			case r < 6: // far-future push (retransmit-deadline shape)
+				tm := &Timer{}
+				timers = append(timers, tm)
+				push(now+1+Time(rng.Intn(1_000_000)), tm)
+			case r < 7: // cancel a random timer
+				if len(timers) > 0 {
+					timers[rng.Intn(len(timers))].stopped = true
+				}
+			case r < 8: // compact both queues
+				dead := func(ev *event) bool { return ev.timer != nil && ev.timer.stopped }
+				if got, want := cal.compact(dead), orc.compact(dead); got != want {
+					t.Fatalf("trial %d op %d: compact removed %d from calendar, %d from oracle", trial, op, got, want)
+				}
+			default: // pop a burst
+				for i := 0; i < 5 && orc.len() > 0; i++ {
+					if cal.peekAt() != orc.peekAt() {
+						t.Fatalf("trial %d op %d: peekAt calendar=%d oracle=%d", trial, op, cal.peekAt(), orc.peekAt())
+					}
+					a, b := cal.pop(), orc.pop()
+					if a.at != b.at || a.seq != b.seq {
+						t.Fatalf("trial %d op %d: pop calendar=(%d,%d) oracle=(%d,%d)",
+							trial, op, a.at, a.seq, b.at, b.seq)
+					}
+					now = a.at
+				}
+			}
+			if cal.len() != orc.len() {
+				t.Fatalf("trial %d op %d: len calendar=%d oracle=%d", trial, op, cal.len(), orc.len())
+			}
+		}
+		// Drain fully: the tail must come out in identical order too.
+		for orc.len() > 0 {
+			a, b := cal.pop(), orc.pop()
+			if a.at != b.at || a.seq != b.seq {
+				t.Fatalf("trial %d drain: pop calendar=(%d,%d) oracle=(%d,%d)", trial, a.at, a.seq, b.at, b.seq)
+			}
+		}
+		if cal.len() != 0 {
+			t.Fatalf("trial %d: calendar holds %d events after oracle drained", trial, cal.len())
+		}
+	}
+}
+
+// TestCalendarSparseFarFuture exercises the direct-search fallback: a few
+// events scattered across a span vastly wider than one calendar year.
+func TestCalendarSparseFarFuture(t *testing.T) {
+	q := newCalendarQueue()
+	ats := []Time{5, 1 << 40, 1 << 30, 1 << 20, 7, 1 << 50}
+	for i, at := range ats {
+		q.push(event{at: at, seq: uint64(i)})
+	}
+	var prev Time = -1
+	for q.len() > 0 {
+		at := q.peekAt()
+		if at < prev {
+			t.Fatalf("out of order: %d after %d", at, prev)
+		}
+		ev := q.pop()
+		if ev.at != at {
+			t.Fatalf("pop %d != peek %d", ev.at, at)
+		}
+		prev = at
+	}
+}
+
+// TestCancelledTimerCompaction is the regression test for cancelled timers
+// occupying queue slots until their deadline: once stopped timers exceed
+// half the queue, Stop must compact them out in place.
+func TestCancelledTimerCompaction(t *testing.T) {
+	for _, kind := range []QueueKind{QueueCalendar, QueueHeap} {
+		prev := SetDefaultQueue(kind)
+		e := NewEngine(1)
+		SetDefaultQueue(prev)
+
+		const n = 1000
+		timers := make([]*Timer, n)
+		for i := range timers {
+			timers[i] = e.AfterFunc(Time(1_000_000+i), func() {})
+		}
+		// A handful of live events that must survive compaction.
+		live := 0
+		for i := 0; i < 8; i++ {
+			e.Schedule(Time(10+i), func() { live++ })
+		}
+		for _, tm := range timers {
+			tm.Stop()
+		}
+		if got := e.Pending(); got > n/2 {
+			t.Fatalf("queue holds %d events after cancelling %d timers; compaction did not run", got, n)
+		}
+		if got := e.PendingWork(); got != 8 {
+			t.Fatalf("PendingWork = %d, want 8", got)
+		}
+		e.Run()
+		if live != 8 {
+			t.Fatalf("ran %d live events, want 8", live)
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("%d events left after Run", e.Pending())
+		}
+	}
+}
+
+// TestStoppedTimerNeverFires pins the semantics compaction must preserve:
+// a stopped timer's callback never runs, whether its dead event is
+// compacted away or pops at its deadline.
+func TestStoppedTimerNeverFires(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.AfterFunc(100, func() { fired = true })
+	tm.Stop()
+	tm.Stop() // double-stop is a no-op
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if e.PendingWork() != 0 {
+		t.Fatalf("PendingWork = %d after quiescence", e.PendingWork())
+	}
+}
+
+// benchQueue measures steady-state hold throughput (pop one, push one) at a
+// queue population of `size`: the access pattern of a big run, where the
+// queue holds one in-flight event per busy node. Hold increments are drawn
+// uniformly over ~4x the population so live events spread across the
+// calendar the way a machine-wide run spreads them across virtual time
+// (each node's next event lands somewhere in the whole in-flight horizon),
+// rather than piling a million events onto a few thousand instants.
+func benchQueue(b *testing.B, kind QueueKind, size int) {
+	q := newQueue(kind)
+	// Deterministic LCG; rand.Rand in the loop would dominate the measurement.
+	s := uint64(12345)
+	next := func(bound Time) Time {
+		s = s*6364136223846793005 + 1442695040888963407
+		return Time(s>>33) % bound
+	}
+	span := Time(4 * size)
+	var seq uint64
+	for i := 0; i < size; i++ {
+		seq++
+		q.push(event{at: next(span), seq: seq})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.pop()
+		seq++
+		q.push(event{at: ev.at + 1 + next(span), seq: seq})
+	}
+}
+
+// BenchmarkMillionEvents is the headline queue benchmark: hold operations at
+// the scale run's population (4096 nodes, one in-flight event each). Run
+// with -benchtime=1000000x to dispatch exactly one million events.
+func BenchmarkMillionEvents(b *testing.B) {
+	b.Run("calendar", func(b *testing.B) { benchQueue(b, QueueCalendar, 4096) })
+	b.Run("heap", func(b *testing.B) { benchQueue(b, QueueHeap, 4096) })
+}
+
+// BenchmarkQueueHoldMillionPop stresses a million-event *population* — every
+// operation is a DRAM miss for any structure, so the gap narrows; the
+// calendar must still win.
+func BenchmarkQueueHoldMillionPop(b *testing.B) {
+	b.Run("calendar", func(b *testing.B) { benchQueue(b, QueueCalendar, 1_000_000) })
+	b.Run("heap", func(b *testing.B) { benchQueue(b, QueueHeap, 1_000_000) })
+}

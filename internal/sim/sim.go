@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/instr"
@@ -64,7 +63,7 @@ func (n *Node) Down() bool { return n.downUntil > n.eng.now }
 // Engine is the discrete-event core.
 type Engine struct {
 	nodes  []*Node
-	events eventHeap
+	q      eventQueue
 	seq    uint64
 	now    Time
 	runner Runner
@@ -83,14 +82,16 @@ type Engine struct {
 	// must not, by themselves, keep the simulation alive).
 	servicePending int
 	// cancelledPending counts stopped timers whose dead events still sit in
-	// the heap; PendingWork subtracts them so cancelled retransmit timers
-	// cannot look like real work.
+	// the queue; PendingWork subtracts them so cancelled retransmit timers
+	// cannot look like real work, and Timer.Stop compacts them out once
+	// they are the majority of the queue (see maybeCompact).
 	cancelledPending int
 }
 
-// NewEngine creates an engine with n nodes, all clocks at zero.
+// NewEngine creates an engine with n nodes, all clocks at zero. The event
+// store is chosen by the package default (see SetDefaultQueue).
 func NewEngine(n int) *Engine {
-	e := &Engine{nodes: make([]*Node, n)}
+	e := &Engine{nodes: make([]*Node, n), q: newQueue(defaultQueue)}
 	for i := range e.nodes {
 		e.nodes[i] = &Node{ID: i, eng: e}
 	}
@@ -134,7 +135,7 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.q.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // ScheduleService registers a service event: a periodic tick (migration
@@ -147,7 +148,7 @@ func (e *Engine) ScheduleService(at Time, fn func()) {
 	}
 	e.seq++
 	e.servicePending++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn, service: true})
+	e.q.push(event{at: at, seq: e.seq, fn: fn, service: true})
 }
 
 // Timer is a cancellable scheduled callback (see AfterFunc). The runtime
@@ -159,17 +160,20 @@ type Timer struct {
 }
 
 // Stop cancels the timer. Stopping an already-fired (or already-stopped)
-// timer is a no-op. The cancelled event still occupies a heap slot until
-// its time comes, but runs nothing, advances no node clock, and no longer
-// counts as pending work: PendingWork excludes cancelled timers, so a
-// stopped retransmit timer cannot spuriously sustain a periodic service
-// past quiescence.
+// timer is a no-op. The cancelled event usually stays in the queue until its
+// time comes (running nothing, advancing no node clock, and not counting as
+// pending work — PendingWork excludes cancelled timers, so a stopped
+// retransmit timer cannot spuriously sustain a periodic service past
+// quiescence). Once cancelled timers exceed half the queue it is compacted
+// in place, so at scale dead retransmit timers are bounded dead weight, not
+// unbounded.
 func (t *Timer) Stop() {
 	if t.stopped || t.fired {
 		return
 	}
 	t.stopped = true
 	t.eng.cancelledPending++
+	t.eng.maybeCompact()
 }
 
 // AfterFunc schedules fn to run after delay (from the current event time)
@@ -179,15 +183,28 @@ func (e *Engine) AfterFunc(delay Time, fn func()) *Timer {
 		delay = 0
 	}
 	t := &Timer{eng: e}
-	e.Schedule(e.now+delay, func() {
-		if t.stopped {
-			e.cancelledPending--
-			return
-		}
-		t.fired = true
-		fn()
-	})
+	e.seq++
+	e.q.push(event{at: e.now + delay, seq: e.seq, fn: fn, timer: t})
 	return t
+}
+
+// compactMinQueue: below this queue length compaction is not worth the
+// rebuild; the dead slots pop out soon enough on their own.
+const compactMinQueue = 64
+
+// maybeCompact removes cancelled-timer events from the queue in place when
+// they outnumber the live events. The trigger and the removal are functions
+// of (queue contents, cancel order) only — identical under either queue
+// implementation — so determinism is unaffected.
+func (e *Engine) maybeCompact() {
+	n := e.q.len()
+	if n < compactMinQueue || e.cancelledPending <= n/2 {
+		return
+	}
+	removed := e.q.compact(func(ev *event) bool {
+		return ev.timer != nil && ev.timer.stopped
+	})
+	e.cancelledPending -= removed
 }
 
 // Wake ensures node n will get a chance to run pending work. If a pump is
@@ -297,7 +314,7 @@ func (e *Engine) deliverAt(to *Node, arrive Time, deliver func()) {
 // quiescence: every node idle with empty queues.
 func (e *Engine) Run() {
 	e.startFaultClock()
-	for e.events.Len() > 0 {
+	for e.q.len() > 0 {
 		e.step()
 	}
 }
@@ -306,14 +323,14 @@ func (e *Engine) Run() {
 // events remain.
 func (e *Engine) RunUntil(t Time) bool {
 	e.startFaultClock()
-	for e.events.Len() > 0 && e.events[0].at <= t {
+	for e.q.len() > 0 && e.q.peekAt() <= t {
 		e.step()
 	}
-	return e.events.Len() > 0
+	return e.q.len() > 0
 }
 
 // Pending returns the number of undispatched events.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // PendingWork returns the number of undispatched events that represent real
 // work: service events and cancelled timers are excluded. Periodic services
@@ -321,12 +338,12 @@ func (e *Engine) Pending() int { return e.events.Len() }
 // (counting each other — or a dead retransmit timer's heap slot — would
 // sustain them forever).
 func (e *Engine) PendingWork() int {
-	return e.events.Len() - e.servicePending - e.cancelledPending
+	return e.q.len() - e.servicePending - e.cancelledPending
 }
 
 // Step dispatches a single event, returning false if none remain.
 func (e *Engine) Step() bool {
-	if e.events.Len() == 0 {
+	if e.q.len() == 0 {
 		return false
 	}
 	e.step()
@@ -334,12 +351,21 @@ func (e *Engine) Step() bool {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(event)
+	ev := e.q.pop()
 	if ev.service {
 		e.servicePending--
 	}
 	e.now = ev.at
 	e.EventCount++
+	if t := ev.timer; t != nil {
+		if t.stopped {
+			// A cancelled timer that escaped compaction: its slot pops here,
+			// advancing event time but running nothing.
+			e.cancelledPending--
+			return
+		}
+		t.fired = true
+	}
 	ev.fn()
 }
 
@@ -385,30 +411,13 @@ func Charge(n *Node, op instr.Op, cost instr.Instr) {
 	n.Counters.Add(op, cost)
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. timer is set for AfterFunc events so that
+// cancellation can be observed at dispatch (and dead events identified by
+// compaction) without wrapping fn in a closure per timer.
 type event struct {
 	at      Time
 	seq     uint64
 	fn      func()
 	service bool
-}
-
-// eventHeap is a min-heap on (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	timer   *Timer
 }

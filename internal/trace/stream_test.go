@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/instr"
+)
+
+func TestStreamWritesAndCounts(t *testing.T) {
+	var out bytes.Buffer
+	s := NewStream(&out)
+	s.Record(0, 100, uint8(KInvoke), "m", 1)
+	s.Record(3, 250, uint8(KMsgSend), "m", PackMsg(1, 7, 12))
+	s.Record(1, 300, uint8(KInvoke), "g", 0)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("streamed %d lines, want 3:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "invoke") || !strings.Contains(lines[0], "n0") {
+		t.Fatalf("bad first line: %q", lines[0])
+	}
+	if s.Len() != 3 || s.Count(KInvoke) != 2 || s.Count(KMsgSend) != 1 {
+		t.Fatalf("counts: len=%d invoke=%d send=%d", s.Len(), s.Count(KInvoke), s.Count(KMsgSend))
+	}
+	var sum bytes.Buffer
+	s.Summary(&sum)
+	if !strings.Contains(sum.String(), "3 events streamed") {
+		t.Fatalf("bad summary: %q", sum.String())
+	}
+}
+
+// Stream output for one node must match Buffer.Timeline for the same events
+// (same line format), so downstream tooling can consume either.
+func TestStreamMatchesTimelineFormat(t *testing.T) {
+	var streamed, timeline bytes.Buffer
+	s := NewStream(&streamed)
+	b := NewBuffer(16)
+	for i := 0; i < 5; i++ {
+		at := instr.Instr(100 * (i + 1))
+		s.Record(2, at, uint8(KWrapper), "w", int64(i))
+		b.Record(2, at, uint8(KWrapper), "w", int64(i))
+	}
+	s.Flush()
+	b.Timeline(&timeline, 0, 0)
+	if streamed.String() != timeline.String() {
+		t.Fatalf("stream and timeline formats diverge:\n%q\nvs\n%q", streamed.String(), timeline.String())
+	}
+}
+
+func TestDefaultCapacityFor(t *testing.T) {
+	cases := []struct{ nodes, want int }{
+		{1, 1 << 16},
+		{64, 1 << 16},
+		{256, 256 << 10},
+		{1024, 1 << 20},
+		{4096, 1 << 20}, // clamped: retention must not scale with the machine
+	}
+	for _, c := range cases {
+		if got := DefaultCapacityFor(c.nodes); got != c.want {
+			t.Errorf("DefaultCapacityFor(%d) = %d, want %d", c.nodes, got, c.want)
+		}
+	}
+}
