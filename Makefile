@@ -3,16 +3,22 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-json bench-baseline tables figure9 examples chaos serve crash-recovery profile scale scale-smoke cover clean
+.PHONY: all build test lint lint-fixtures bench bench-json bench-baseline tables figure9 examples chaos serve crash-recovery profile scale scale-smoke cover clean
 
 all: build test
 
-# Schema-declaration verification: concertvet (internal/lint) checks every
-# hand-declared core.Method property against what the method bodies do,
-# then the standard vet suite runs. Exit status is non-zero on any finding.
+# Determinism vet: concertvet (internal/lint) runs the full analyzer suite —
+# methoddecl, framebounds, detrand, cellshare, goldenpath — over the whole
+# repo (its default patterns), then the standard vet suite runs. Exit status
+# 2 means an unsound finding, 1 pessimizing-only, 0 clean.
 lint:
-	$(GO) run ./cmd/concertvet ./apps/... ./examples/... ./structures
+	$(GO) run ./cmd/concertvet
 	$(GO) vet ./...
+
+# The analyzers' own test gate: per-analyzer marker fixtures (bad + good),
+# the //lint:allow machinery, and the repo-clean sweep.
+lint-fixtures:
+	$(GO) test -count=1 ./internal/lint
 
 build:
 	$(GO) build ./...

@@ -353,12 +353,15 @@ func Build(variant Variant) *Methods {
 	case Forward:
 		m.plan = []phase{{1, m.chain}, {0, m.computeLocal}, {0, m.chain}, {1, m.computeLocal}}
 	}
-	methods := make(map[*core.Method]bool)
+	// Dedup in plan order, not map-iteration order: the Calls list is
+	// simulation state (the analysis edge list and CheckDecls both read it),
+	// so its element order must not vary run to run.
+	seen := make(map[*core.Method]bool)
 	for _, ph := range m.plan {
-		methods[ph.meth] = true
-	}
-	for meth := range methods {
-		m.chunkRun.Calls = append(m.chunkRun.Calls, meth)
+		if !seen[ph.meth] {
+			seen[ph.meth] = true
+			m.chunkRun.Calls = append(m.chunkRun.Calls, ph.meth)
+		}
 	}
 
 	// main(iters): run the plan's phases with a join barrier after each.

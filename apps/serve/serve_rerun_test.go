@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// serveTranscript runs the serving workload under a tracer and flattens the
+// run's observable surface — trace Timeline, scalar results, NodeStats —
+// into one transcript string for exp.CheckRerun.
+func serveTranscript(cfg core.Config, p Params) string {
+	buf := trace.NewBuffer(1 << 16)
+	cfg.Tracer = buf
+	r := Run(machine.CM5(), cfg, p)
+	var sb strings.Builder
+	buf.Timeline(&sb, 0, 0)
+	fmt.Fprintf(&sb, "result %+v\nstats %+v\n", scalars(r), r.Stats)
+	return sb.String()
+}
+
+// TestServeRerunDeterministic: the adaptive serving run — migration policy
+// included — replays byte-identically under the same seed.
+func TestServeRerunDeterministic(t *testing.T) {
+	if err := exp.CheckRerun(func() string {
+		cfg := core.DefaultHybrid()
+		cfg.Migration = ThresholdPolicy()
+		return serveTranscript(cfg, DefaultParams(1995))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryRerunDeterministic: the crash/checkpoint/restore path —
+// the most state-heavy machinery in the repo — replays byte-identically too.
+func TestCrashRecoveryRerunDeterministic(t *testing.T) {
+	if err := exp.CheckRerun(func() string {
+		return serveTranscript(crashConfig(11), crashParams(1995))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package sor
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// TestSORRerunDeterministic is the dynamic backstop for the static detrand
+// and cellshare passes: two same-seed runs must produce byte-identical
+// transcripts — the full trace Timeline plus NodeStats and the checksum.
+func TestSORRerunDeterministic(t *testing.T) {
+	if err := exp.CheckRerun(func() string {
+		buf := trace.NewBuffer(1 << 16)
+		cfg := core.DefaultHybrid()
+		cfg.Tracer = buf
+		r := Run(machine.CM5(), cfg, Params{G: 16, P: 2, B: 2, Iters: 2})
+		var sb strings.Builder
+		buf.Timeline(&sb, 0, 0)
+		fmt.Fprintf(&sb, "stats %+v\nchecksum %v\nmessages %d\n", r.Stats, r.Checksum, r.Messages)
+		return sb.String()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

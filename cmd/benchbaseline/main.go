@@ -184,11 +184,11 @@ func timeRunEnv(bin string, args, env []string) float64 {
 	cmd.Env = env
 	cmd.Stdout = io.Discard
 	cmd.Stderr = os.Stderr
-	start := time.Now()
+	start := time.Now() //lint:allow detrand wall-clock benchmarking is this binary's purpose
 	if err := cmd.Run(); err != nil {
 		fatal(fmt.Errorf("%s %v: %w", bin, args, err))
 	}
-	return time.Since(start).Seconds()
+	return time.Since(start).Seconds() //lint:allow detrand wall-clock benchmarking is this binary's purpose
 }
 
 // bestOf returns the minimum wall clock over n runs — the standard defense

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Fingerprint returns a short stable FNV-64a fingerprint of a run
+// transcript, printable in failure messages and diffable across hosts.
+func Fingerprint(s string) string {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CheckRerun is the dynamic half of the determinism contract the static
+// detrand/cellshare passes check syntactically: it invokes run twice —
+// same seed, fresh engine each time — and verifies the two transcripts are
+// byte-identical. A transcript is whatever the caller deems the run's
+// observable surface (trace Timeline, NodeStats, checksums); kernels wire
+// this in their tests the way PR 4 wired Config.CheckDecls.
+//
+// On divergence the error carries both fingerprints and the first differing
+// line, so a failure names the earliest observable point where the two runs
+// split rather than just "hashes differ".
+func CheckRerun(run func() string) error {
+	first := run()
+	second := run()
+	if first == second {
+		return nil
+	}
+	a := strings.Split(first, "\n")
+	b := strings.Split(second, "\n")
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	line, la, lb := 0, "", ""
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			line, la, lb = i+1, a[i], b[i]
+			break
+		}
+	}
+	if line == 0 {
+		// One transcript is a strict prefix of the other.
+		line = n + 1
+		if len(a) > n {
+			la = a[n]
+		}
+		if len(b) > n {
+			lb = b[n]
+		}
+	}
+	return fmt.Errorf("rerun diverged: transcript fingerprints %s vs %s; first difference at line %d:\n  run 1: %q\n  run 2: %q",
+		Fingerprint(first), Fingerprint(second), line, la, lb)
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestFingerprint(t *testing.T) {
+	// FNV-64a offset basis: the fingerprint of the empty transcript.
+	if got := Fingerprint(""); got != "cbf29ce484222325" {
+		t.Fatalf("Fingerprint(\"\") = %s, want cbf29ce484222325", got)
+	}
+	if Fingerprint("a") == Fingerprint("b") {
+		t.Fatal("distinct transcripts share a fingerprint")
+	}
+	if Fingerprint("x") != Fingerprint("x") {
+		t.Fatal("fingerprint not stable")
+	}
+}
+
+func TestCheckRerunIdentical(t *testing.T) {
+	calls := 0
+	err := CheckRerun(func() string {
+		calls++
+		return "line1\nline2\n"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("run invoked %d times, want 2", calls)
+	}
+}
+
+func TestCheckRerunDiverged(t *testing.T) {
+	calls := 0
+	err := CheckRerun(func() string {
+		calls++
+		return fmt.Sprintf("stable\ncall %d\n", calls)
+	})
+	if err == nil {
+		t.Fatal("diverging transcripts not reported")
+	}
+	msg := err.Error()
+	for _, sub := range []string{"line 2", `"call 1"`, `"call 2"`} {
+		if !strings.Contains(msg, sub) {
+			t.Errorf("error %q does not pinpoint the divergence (%s)", msg, sub)
+		}
+	}
+}
+
+func TestCheckRerunPrefixDivergence(t *testing.T) {
+	calls := 0
+	err := CheckRerun(func() string {
+		calls++
+		if calls == 1 {
+			return "a\nb"
+		}
+		return "a\nb\nextra"
+	})
+	if err == nil {
+		t.Fatal("prefix divergence not reported")
+	}
+	if !strings.Contains(err.Error(), `"extra"`) {
+		t.Errorf("error %q does not show the extra line", err)
+	}
+}

@@ -1,8 +1,24 @@
-// Package lint implements the schema-declaration verifier: static analysis
-// passes that check the hand-declared analysis inputs of core.Method values
-// (MayBlockLocal, Captures, Calls, Forwards — the facts the paper's global
-// flow analysis would derive, supplied by hand in every Go-authored kernel)
-// against what the method bodies actually do.
+// Package lint implements the determinism-vet suite: static analysis passes
+// over the contracts every result in this repro rests on.
+//
+// Two passes verify the hand-declared analysis inputs of core.Method values
+// (MayBlockLocal, Captures, Calls, Forwards, frame bounds — the facts the
+// paper's global flow analysis would derive, supplied by hand in every
+// Go-authored kernel) against what the method bodies actually do
+// (methoddecl, framebounds). Three more guard the repo's bit-determinism
+// contract — same seed, same bytes, at any -j width: detrand flags
+// nondeterminism sources (map-iteration order reaching output or simulation
+// state, global math/rand, wall clock), cellshare checks experiment-cell
+// isolation at exp.Map/Run/MapErr call sites (shared mutable captures,
+// shared Config handles), and goldenpath keeps golden-tested binaries'
+// output inside their swappable checked-flush writer. AllAnalyzers is the
+// registry; cmd/concertvet is the driver.
+//
+// A finding can be suppressed where it occurs with a machine-readable
+// `//lint:allow <analyzer> <reason>` comment (trailing, or standalone on
+// the line above). The reason is mandatory; malformed allows are unsound
+// findings and stale ones (suppressing nothing) are pessimizing, so the
+// suppression inventory polices itself.
 //
 // The API mirrors the golang.org/x/tools/go/analysis shape (Analyzer, Pass,
 // Diagnostic) so the passes read like standard vet checkers, but it is built
@@ -83,6 +99,118 @@ type Finding struct {
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s: %s", f.Position, f.Analyzer, f.Category, f.Message)
+}
+
+// AllAnalyzers is the registry of every analyzer in the determinism-vet
+// suite, in the order cmd/concertvet runs them by default. The allowlist
+// parser validates //lint:allow analyzer names against this set.
+var AllAnalyzers = []*Analyzer{MethodDecl, FrameBounds, DetRand, CellShare, GoldenPath}
+
+// allowKey identifies one (file, line, analyzer) allowlist grant.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowSet is the parsed //lint:allow grants of one package, plus the
+// malformed comments found while parsing. A grant written as
+//
+//	//lint:allow <analyzer> <reason>
+//
+// suppresses that analyzer's findings on the comment's own line (trailing
+// placement) and on the line immediately below (standalone placement). The
+// reason is mandatory: an allow without one is itself reported, so every
+// suppression in the tree carries its justification in a machine-checkable
+// position — no side-channel config file to drift out of date.
+type allowSet struct {
+	grants    map[allowKey]token.Pos
+	order     []allowKey // grant insertion order, for deterministic stale reports
+	used      map[allowKey]bool
+	malformed []Diagnostic
+}
+
+const allowPrefix = "lint:allow"
+
+// parseAllows scans the comment lists of the package's files.
+func parseAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	as := &allowSet{grants: map[allowKey]token.Pos{}, used: map[allowKey]bool{}}
+	known := map[string]bool{}
+	for _, a := range AllAnalyzers {
+		known[a.Name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are not valid allow positions
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				switch {
+				case len(fields) == 0 || !known[fields[0]]:
+					as.malformed = append(as.malformed, Diagnostic{Pos: c.Pos(), Category: "unsound",
+						Message: fmt.Sprintf("malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" with analyzer one of %s", analyzerNames())})
+				case len(fields) < 2:
+					as.malformed = append(as.malformed, Diagnostic{Pos: c.Pos(), Category: "unsound",
+						Message: fmt.Sprintf("//lint:allow %s is missing its reason; every suppression must say why", fields[0])})
+				default:
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := allowKey{pos.Filename, line, fields[0]}
+						as.grants[k] = c.Pos()
+						as.order = append(as.order, k)
+					}
+				}
+			}
+		}
+	}
+	return as
+}
+
+// allowed reports (and marks used) a grant covering the diagnostic.
+func (as *allowSet) allowed(analyzer string, pos token.Position) bool {
+	k := allowKey{pos.Filename, pos.Line, analyzer}
+	if _, ok := as.grants[k]; !ok {
+		return false
+	}
+	as.used[k] = true
+	// A grant spans two lines (its own and the next); mark the sibling used
+	// too so one consumed grant is not also reported as stale.
+	as.used[allowKey{pos.Filename, pos.Line - 1, analyzer}] = true
+	as.used[allowKey{pos.Filename, pos.Line + 1, analyzer}] = true
+	return true
+}
+
+// stale returns a diagnostic per grant that suppressed nothing for an
+// analyzer that actually ran — a leftover allow is a pessimizing lie about
+// the code under it.
+func (as *allowSet) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	seen := map[token.Pos]bool{}
+	for _, k := range as.order { // insertion order: stale reports must not vary run to run
+		cpos := as.grants[k]
+		if !ran[k.analyzer] || as.used[k] || seen[cpos] {
+			continue
+		}
+		seen[cpos] = true
+		out = append(out, Diagnostic{Pos: cpos, Category: "pessimizing",
+			Message: fmt.Sprintf("stale //lint:allow %s: no %s finding here to suppress", k.analyzer, k.analyzer)})
+	}
+	return out
+}
+
+func analyzerNames() string {
+	names := make([]string, len(AllAnalyzers))
+	for i, a := range AllAnalyzers {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
 }
 
 // ExpandPatterns resolves package patterns to directories containing Go
@@ -168,6 +296,10 @@ func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 	}
 	fset := token.NewFileSet()
 	var findings []Finding
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	for _, dir := range dirs {
 		files, err := loadDir(fset, dir)
 		if err != nil {
@@ -176,6 +308,13 @@ func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 		if len(files) == 0 {
 			continue
 		}
+		allows := parseAllows(fset, files)
+		for _, d := range allows.malformed {
+			findings = append(findings, Finding{
+				Analyzer: "allow", Position: fset.Position(d.Pos),
+				Category: d.Category, Message: d.Message,
+			})
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -183,9 +322,13 @@ func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 				Files:    files,
 				Dir:      dir,
 				Report: func(d Diagnostic) {
+					pos := fset.Position(d.Pos)
+					if allows.allowed(a.Name, pos) {
+						return
+					}
 					findings = append(findings, Finding{
 						Analyzer: a.Name,
-						Position: fset.Position(d.Pos),
+						Position: pos,
 						Category: d.Category,
 						Message:  d.Message,
 					})
@@ -194,6 +337,12 @@ func Run(analyzers []*Analyzer, patterns []string) ([]Finding, error) {
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", dir, a.Name, err)
 			}
+		}
+		for _, d := range allows.stale(ran) {
+			findings = append(findings, Finding{
+				Analyzer: "allow", Position: fset.Position(d.Pos),
+				Category: d.Category, Message: d.Message,
+			})
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {

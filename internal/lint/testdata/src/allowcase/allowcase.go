@@ -1,0 +1,42 @@
+// Package allowcase exercises the //lint:allow machinery: trailing and
+// standalone suppressions that must work, a stale allow that must be
+// reported as pessimizing, and malformed allows that must be reported as
+// unsound. TestAllowFixture pins the expected outcomes.
+package allowcase
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// trailing: the grant sits on the finding's own line and suppresses it.
+func trailing() int64 {
+	return time.Now().UnixNano() //lint:allow detrand fixture exercises trailing suppression
+}
+
+// standalone: the grant sits on the line above the finding and suppresses it.
+func standalone(w *os.File, m map[string]int) {
+	for k, v := range m {
+		//lint:allow detrand fixture exercises standalone suppression
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// stale: a well-formed grant with nothing to suppress is itself a finding.
+func stale() int {
+	//lint:allow detrand nothing here needs suppressing
+	return 42
+}
+
+// badAnalyzer: an unknown analyzer name is malformed, not a silent no-op.
+func badAnalyzer() int {
+	//lint:allow nosuchpass reasons do not save an unknown analyzer
+	return 1
+}
+
+// noReason: a grant without a reason is malformed AND grants nothing, so the
+// wall-clock finding on this line still surfaces.
+func noReason() int64 {
+	return time.Now().UnixNano() //lint:allow detrand
+}

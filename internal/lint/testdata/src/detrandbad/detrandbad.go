@@ -1,0 +1,52 @@
+// Package detrandbad seeds one instance of every nondeterminism source the
+// detrand analyzer must catch. Each marked line carries a want:<category>
+// comment checked by TestDetRandBadFixture.
+package detrandbad
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// reg has a map-typed field so selector ranges resolve syntactically.
+type reg struct {
+	byName map[string]int
+	names  []string
+}
+
+// printInOrder writes in map-iteration order: bytes differ run to run.
+func printInOrder(r *reg, w *os.File) {
+	for name, v := range r.byName {
+		fmt.Fprintf(w, "%s=%d\n", name, v) // want:unsound
+	}
+}
+
+// collectUnsorted appends in map-iteration order and never sorts.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want:unsound
+	}
+	return keys
+}
+
+// appendToState grows outer state from a local map.
+func appendToState(r *reg) {
+	set := make(map[string]bool)
+	set["a"] = true
+	for k := range set {
+		r.names = append(r.names, k) // want:unsound
+	}
+}
+
+// globalRand draws from the process-wide source.
+func globalRand() int {
+	return rand.Intn(10) // want:unsound
+}
+
+// wallClock reads real time into a simulated result.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want:unsound
+}

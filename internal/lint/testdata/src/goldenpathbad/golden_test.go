@@ -1,0 +1,4 @@
+// This file exists so the directory counts as golden-tested: the goldenpath
+// analyzer scopes itself to directories containing a *golden_test.go file.
+// It is never compiled (testdata is outside the build).
+package main

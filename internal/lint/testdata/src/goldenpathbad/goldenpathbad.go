@@ -1,0 +1,40 @@
+// Package main (goldenpathbad) seeds every way a golden-tested binary can
+// leak bytes around the swappable writer or drop a flush error. The dir
+// contains a golden_test.go, so the goldenpath analyzer is in scope.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// Package-level initializer naming os.Stdout is the sanctioned funnel
+// default and must not be flagged.
+var out = bufio.NewWriter(os.Stdout)
+
+func main() {
+	render(out)
+	finish(out)
+	fmt.Println("done") // want:unsound
+	_ = os.Stdout       // main may rewire os.Stdout: not flagged
+}
+
+// render leaks bytes around the funnel twice: a direct os.Stdout write and
+// an implicit-stdout fmt.Printf.
+func render(w *bufio.Writer) {
+	fmt.Fprintf(os.Stdout, "table\n") // want:unsound
+	fmt.Printf("row %d\n", 1)         // want:unsound
+	fmt.Fprintf(w, "row %d\n", 2)     // through the funnel: clean
+}
+
+// finish flushes without consuming the sticky error.
+func finish(w *bufio.Writer) {
+	w.Flush() // want:unsound
+}
+
+// deferred discards the flush error by deferring it.
+func deferred(w *bufio.Writer) {
+	defer w.Flush() // want:unsound
+	fmt.Fprintln(w, "x")
+}

@@ -1,0 +1,48 @@
+// Package main (goldenpathgood) is the house golden-output idiom in full:
+// a swappable package-level writer defaulting to os.Stdout, buffered wiring
+// in main, an explicit checked flush, and the csv Flush/Error pairing. The
+// goldenpath analyzer must stay silent.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// out is the swappable funnel the golden tests replace with a bytes.Buffer.
+var out io.Writer = os.Stdout
+
+var bufOut *bufio.Writer
+
+func main() {
+	bufOut = bufio.NewWriter(os.Stdout)
+	out = bufOut
+	render(out)
+	if err := writeCSV(out, [][]string{{"a", "b"}}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := bufOut.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func render(w io.Writer) {
+	fmt.Fprintf(w, "table\n")
+}
+
+// writeCSV flushes and consults the sticky error — the csv.Writer idiom.
+func writeCSV(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,18 @@
+// Package main (goldenpathskip) writes to stdout every way goldenpathbad
+// does — but the directory has no golden_test.go, so the goldenpath analyzer
+// must skip it entirely: interactive CLIs may print freely.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Println("interactive output is fine here")
+	fmt.Fprintf(os.Stdout, "so is this\n")
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintln(w, "x")
+	defer w.Flush()
+}

@@ -8,6 +8,7 @@ package obsv
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"strconv"
 
 	"repro/internal/trace"
@@ -33,15 +34,27 @@ type perfettoFile struct {
 }
 
 // WritePerfetto exports the run in Chrome trace_event JSON format.
+//
+// Byte stability is part of the contract: two exports of the same run — and
+// two runs with the same seed — must produce identical bytes
+// (TestWritePerfettoByteStable), so node ids are iterated in explicitly
+// sorted order rather than trusting the backing container's layout, and the
+// Args objects rely on encoding/json's sorted map keys.
 func (m *Metrics) WritePerfetto(w io.Writer) error {
-	evs := make([]traceEv, 0, m.intervals+len(m.instants)+len(m.nodes))
+	ids := make([]int, 0, len(m.nodes))
 	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	evs := make([]traceEv, 0, m.intervals+len(m.instants)+len(ids))
+	for _, id := range ids {
 		evs = append(evs, traceEv{
 			Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
 			Args: map[string]any{"name": nodeLabel(id)},
 		})
 	}
-	for id, np := range m.nodes {
+	for _, id := range ids {
+		np := m.nodes[id]
 		for _, iv := range np.intervals {
 			name := iv.method
 			if name == "" {

@@ -1,0 +1,67 @@
+package obsv_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// TestWritePerfettoByteStable: the Perfetto export is part of the repo's
+// bit-determinism surface. Exporting one observed run twice must produce
+// identical bytes, and two same-seed runs must export identical bytes too —
+// node tracks, exec slices and instants all emit in a pinned order, never in
+// a container's incidental one.
+func TestWritePerfettoByteStable(t *testing.T) {
+	m := obsv.New()
+	runSOR(t, m)
+
+	var first, second bytes.Buffer
+	if err := m.WritePerfetto(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePerfetto(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("two exports of the same run differ byte-for-byte")
+	}
+
+	m2 := obsv.New()
+	runSOR(t, m2)
+	var rerun bytes.Buffer
+	if err := m2.WritePerfetto(&rerun); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), rerun.Bytes()) {
+		t.Fatalf("same-seed runs exported different traces (%d vs %d bytes)", first.Len(), rerun.Len())
+	}
+
+	// The bytes must also be a loadable trace_event file with one
+	// thread_name track per observed node.
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(first.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	lastTid := -1
+	tracks := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if ev.Tid <= lastTid {
+				t.Fatalf("thread_name tracks out of order: tid %d after %d", ev.Tid, lastTid)
+			}
+			lastTid = ev.Tid
+			tracks++
+		}
+	}
+	if tracks != m.NumNodes() {
+		t.Fatalf("want %d thread_name tracks, got %d", m.NumNodes(), tracks)
+	}
+}
