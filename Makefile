@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-fixtures bench bench-json bench-baseline tables figure9 examples chaos serve crash-recovery profile scale scale-smoke cover clean
+.PHONY: all build test lint lint-fixtures bench bench-json bench-baseline tables figure9 examples chaos serve crash-recovery profile scale scale-smoke pdes-smoke cover clean
 
 all: build test
 
@@ -103,6 +103,17 @@ scale:
 # second of simulation.
 scale-smoke:
 	$(GO) run ./cmd/concert -app sor -nodes 256 -size 256 -iters 2 -net fattree -verify
+
+# PDES smoke: the 256-node fat-tree SOR run through the serial oracle and
+# through the sharded parallel engine must print byte-identical output —
+# the engine's golden guarantee exercised end to end on a real binary, not
+# just inside the test suite. cmp fails the target on the first differing
+# byte.
+pdes-smoke:
+	$(GO) run ./cmd/concert -app sor -nodes 256 -size 256 -iters 2 -net fattree -verify -engine serial > /tmp/pdes_smoke_serial.out
+	$(GO) run ./cmd/concert -app sor -nodes 256 -size 256 -iters 2 -net fattree -verify -engine parallel -shards 4 > /tmp/pdes_smoke_parallel.out
+	cmp /tmp/pdes_smoke_serial.out /tmp/pdes_smoke_parallel.out
+	@echo "pdes-smoke: serial and parallel engine outputs are byte-identical"
 
 cover:
 	$(GO) test -cover ./...

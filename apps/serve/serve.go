@@ -138,21 +138,29 @@ type App struct {
 
 // complete stamps one request finished on its frontend's clock. Completions
 // of hedged duplicate attempts are ignored — the first attempt to finish
-// wins.
+// wins. The whole body — the dedup check included — runs at the engine's
+// ordered-commit point: every field it touches (finished, hist, sloOK, done,
+// the trace ring) is shared across frontends, and under the parallel engine
+// frontends on different shards complete requests concurrently. The clock
+// stamp is captured here, at event time, so the deferred commit measures the
+// same latency the serial engine would.
 func (a *App) complete(n *core.NodeRT, rq *load.Req) {
-	if a.finished[rq.ID] {
-		return
-	}
-	a.finished[rq.ID] = true
 	now := int64(n.Sim.Clock)
-	a.hist.Add(now - rq.At)
-	if now-rq.At <= a.slo {
-		a.sloOK++
-	}
-	a.done++
-	if a.tracer != nil {
-		a.tracer.Record(n.ID, n.Sim.Clock, uint8(trace.KReqDone), "serve.request", int64(rq.ID))
-	}
+	node := n.ID
+	n.Sim.Ordered(func() {
+		if a.finished[rq.ID] {
+			return
+		}
+		a.finished[rq.ID] = true
+		a.hist.Add(now - rq.At)
+		if now-rq.At <= a.slo {
+			a.sloOK++
+		}
+		a.done++
+		if a.tracer != nil {
+			a.tracer.Record(node, instr.Instr(now), uint8(trace.KReqDone), "serve.request", int64(rq.ID))
+		}
+	})
 }
 
 // Methods bundles the serving program.

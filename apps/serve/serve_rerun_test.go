@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/machine"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -33,6 +34,28 @@ func TestServeRerunDeterministic(t *testing.T) {
 		return serveTranscript(cfg, DefaultParams(1995))
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServeRerunDeterministicParallelEngine: the serving workload through
+// the sharded PDES engine replays byte-identically and matches the serial
+// oracle. The migration policy is left off deliberately — a migration policy
+// forces the serial fallback, and the test would silently compare serial
+// against serial.
+func TestServeRerunDeterministicParallelEngine(t *testing.T) {
+	run := func() string {
+		return serveTranscript(core.DefaultHybrid(), DefaultParams(1995))
+	}
+	serial := run()
+
+	defer sim.SetDefaultEngine(sim.SetDefaultEngine(sim.EngineParallel))
+	defer sim.SetDefaultShards(sim.SetDefaultShards(4))
+	if err := exp.CheckRerun(run); err != nil {
+		t.Fatal(err)
+	}
+	if par := run(); par != serial {
+		t.Fatalf("parallel transcript diverges from serial oracle: fingerprints %s vs %s",
+			exp.Fingerprint(par), exp.Fingerprint(serial))
 	}
 }
 

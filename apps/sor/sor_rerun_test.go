@@ -8,23 +8,47 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/machine"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// sorTranscript runs the small SOR kernel under a tracer and flattens the
+// run's observable surface — trace Timeline, NodeStats, checksum — into one
+// transcript string for exp.CheckRerun.
+func sorTranscript() string {
+	buf := trace.NewBuffer(1 << 16)
+	cfg := core.DefaultHybrid()
+	cfg.Tracer = buf
+	r := Run(machine.CM5(), cfg, Params{G: 16, P: 2, B: 2, Iters: 2})
+	var sb strings.Builder
+	buf.Timeline(&sb, 0, 0)
+	fmt.Fprintf(&sb, "stats %+v\nchecksum %v\nmessages %d\n", r.Stats, r.Checksum, r.Messages)
+	return sb.String()
+}
 
 // TestSORRerunDeterministic is the dynamic backstop for the static detrand
 // and cellshare passes: two same-seed runs must produce byte-identical
 // transcripts — the full trace Timeline plus NodeStats and the checksum.
 func TestSORRerunDeterministic(t *testing.T) {
-	if err := exp.CheckRerun(func() string {
-		buf := trace.NewBuffer(1 << 16)
-		cfg := core.DefaultHybrid()
-		cfg.Tracer = buf
-		r := Run(machine.CM5(), cfg, Params{G: 16, P: 2, B: 2, Iters: 2})
-		var sb strings.Builder
-		buf.Timeline(&sb, 0, 0)
-		fmt.Fprintf(&sb, "stats %+v\nchecksum %v\nmessages %d\n", r.Stats, r.Checksum, r.Messages)
-		return sb.String()
-	}); err != nil {
+	if err := exp.CheckRerun(sorTranscript); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSORRerunDeterministicParallelEngine runs the same contract through the
+// sharded PDES engine, twice over: two same-seed parallel runs must be
+// byte-identical to each other (goroutine scheduling never reaches the
+// transcript) and to the serial oracle (the engines are interchangeable).
+func TestSORRerunDeterministicParallelEngine(t *testing.T) {
+	serial := sorTranscript()
+
+	defer sim.SetDefaultEngine(sim.SetDefaultEngine(sim.EngineParallel))
+	defer sim.SetDefaultShards(sim.SetDefaultShards(4))
+	if err := exp.CheckRerun(sorTranscript); err != nil {
+		t.Fatal(err)
+	}
+	if par := sorTranscript(); par != serial {
+		t.Fatalf("parallel transcript diverges from serial oracle: fingerprints %s vs %s",
+			exp.Fingerprint(par), exp.Fingerprint(serial))
 	}
 }

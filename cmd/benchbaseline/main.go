@@ -7,25 +7,36 @@
 //	benchbaseline [-out BENCH_parallel.json] [-scale small|medium] [-j N]
 //	              [-reps N] [-micro regex] [-benchtime 200ms] [-skip-micro]
 //
-// Each entry has the schema {name, serial_s, parallel_s, workers, speedup}.
-// Driver entries time `tables -table all`, the Table 9 and 10 serving and
-// crash workloads, and one sweep per kernel through the internal/exp runner
-// at -j 1 and -j N (best of -reps). Microbenchmark entries record ns/op from `go test -bench`
-// as seconds with workers=1 and speedup=1 — single-run baselines the
-// trajectory can diff against.
+// Each entry has the schema {name, serial_s, parallel_s, workers, speedup}
+// plus an optional "skipped" marker. Driver entries time `tables -table all`,
+// the Table 9 and 10 serving and crash workloads, and one sweep per kernel
+// through the internal/exp runner at -j 1 and -j N (best of -reps).
+// Microbenchmark entries record ns/op from `go test -bench` as seconds with
+// workers=1 and speedup=1 — single-run baselines the trajectory can diff
+// against.
 //
 // A scale-4096 entry times the headline scale run — a million-object SOR on
 // a 4096-node machine through the fat-tree interconnect — so the trajectory
-// tracks the engine's full-scale cost (one deterministic simulation is one
-// thread: workers=1, speedup=1).
+// tracks the engine's full-scale cost (one deterministic simulation through
+// the exp runner is one thread: workers=1, speedup=1).
+//
+// Two engine-parallel entries (engine-parallel-sor on the `make scale`
+// configuration, engine-parallel-serve on the serving smoke) time the PDES
+// engine itself: the identical byte-for-byte run through the serial oracle
+// (-engine serial) versus the sharded conservative-window engine
+// (-engine parallel -shards N). Unlike the -j entries these parallelize one
+// simulation, so they run with explicit shards even on a single-CPU host —
+// there the speedup column honestly records the synchronization overhead
+// (typically < 1.0) rather than pretending workers=1.
 //
 // The speedup column is wall-clock and host-dependent: on an M-core box the
 // driver entries should approach min(M, cells), and `make bench-baseline`
 // regenerates the file in CI so it tracks the current code on a known host.
-// On a single-CPU host the parallel width is 1 and the parallel timing is
-// skipped entirely (serial == parallel, speedup 1.0): there is no
-// parallelism to measure, and timing -j 2 anyway would only record
-// goroutine-scheduling overhead as a fictitious slowdown.
+// On a single-CPU host the -j parallel width is 1 and the parallel timing is
+// skipped: timing -j 2 there would only record goroutine-scheduling overhead
+// as a fictitious slowdown. Skipped entries say so explicitly — they carry
+// "skipped": "1 cpu" in the JSON instead of silently publishing
+// serial == parallel as if a two-worker run had been measured.
 package main
 
 import (
@@ -44,19 +55,25 @@ import (
 	"repro/internal/stats"
 )
 
-// Entry is one line of the perf baseline.
+// Entry is one line of the perf baseline. Skipped is set when the parallel
+// timing was not actually measured (e.g. a 1-CPU host): the entry then
+// records serial == parallel and speedup 1.0 so trajectory diffs keep a
+// stable schema, and the marker says why the columns are equal instead of
+// letting them masquerade as a measured two-worker result.
 type Entry struct {
 	Name      string  `json:"name"`
 	SerialS   float64 `json:"serial_s"`
 	ParallelS float64 `json:"parallel_s"`
 	Workers   int     `json:"workers"`
 	Speedup   float64 `json:"speedup"`
+	Skipped   string  `json:"skipped,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_parallel.json", "output file")
 	scale := flag.String("scale", "small", "problem scale passed to the drivers: small, medium")
 	workers := flag.Int("j", defaultJ(), "parallel worker count for the parallel timing")
+	shards := flag.Int("shards", defaultShards(), "shard count for the engine-parallel entries (minimum 2: a sharded run needs at least two shards)")
 	reps := flag.Int("reps", 1, "repetitions per timing; best (minimum) wall clock is recorded")
 	micro := flag.String("micro", "BenchmarkEventDispatch|BenchmarkHybridStackExecution|BenchmarkParallelHeapExecution|BenchmarkFramePoolCheckout|BenchmarkSolve10k",
 		"microbenchmark regex for `go test -bench`")
@@ -97,19 +114,20 @@ func main() {
 		// otherwise land entirely on the serial column and skew the ratio.
 		timeRun(d.bin, append(d.args, "-j", "1"))
 		serial := bestOf(*reps, d.bin, append(d.args, "-j", "1"))
-		parallel := serial
+		e := Entry{Name: d.name, SerialS: round(serial), Workers: *workers}
 		if *workers > 1 {
-			parallel = bestOf(*reps, d.bin, append(d.args, "-j", strconv.Itoa(*workers)))
+			parallel := bestOf(*reps, d.bin, append(d.args, "-j", strconv.Itoa(*workers)))
+			e.ParallelS = round(parallel)
+			e.Speedup = round(serial / parallel)
+		} else {
+			e.ParallelS = round(serial)
+			e.Speedup = 1
+			e.Skipped = "1 cpu"
 		}
-		entries = append(entries, Entry{
-			Name:      d.name,
-			SerialS:   round(serial),
-			ParallelS: round(parallel),
-			Workers:   *workers,
-			Speedup:   round(serial / parallel),
-		})
+		entries = append(entries, e)
 	}
 	entries = append(entries, scaleEntry(concertBin, *reps))
+	entries = append(entries, engineEntries(concertBin, *reps, *shards)...)
 	if !*skipMicro {
 		entries = append(entries, microEntries(*micro, *benchtime)...)
 	}
@@ -124,11 +142,16 @@ func main() {
 
 	t := stats.Table{
 		Title:   fmt.Sprintf("bench baseline — scale %s, %d workers (wrote %s)", *scale, *workers, *out),
-		Headers: []string{"name", "serial (s)", "parallel (s)", "speedup"},
+		Headers: []string{"name", "serial (s)", "parallel (s)", "workers", "speedup"},
 	}
 	for _, e := range entries {
-		t.AddRow(e.Name, fmt.Sprintf("%.3f", e.SerialS), fmt.Sprintf("%.3f", e.ParallelS),
-			fmt.Sprintf("%.2f", e.Speedup))
+		par := fmt.Sprintf("%.3f", e.ParallelS)
+		sp := fmt.Sprintf("%.2f", e.Speedup)
+		if e.Skipped != "" {
+			par = "skipped: " + e.Skipped
+			sp = "-"
+		}
+		t.AddRow(e.Name, fmt.Sprintf("%.3f", e.SerialS), par, strconv.Itoa(e.Workers), sp)
 	}
 	t.Render(os.Stdout)
 }
@@ -141,6 +164,61 @@ func main() {
 // nothing about the code.
 func defaultJ() int {
 	return exp.DefaultWorkers()
+}
+
+// defaultShards picks the shard count for the engine-parallel entries. The
+// PDES engine needs >= 2 shards to be a parallel engine at all, and unlike
+// the -j entries the comparison is meaningful on a 1-CPU host: it measures
+// what the conservative windows and the ordered-commit barrier cost when
+// there is no hardware parallelism to pay for them.
+func defaultShards() int {
+	if j := defaultJ(); j > 2 {
+		return j
+	}
+	return 2
+}
+
+// engineEntries times the PDES engine itself: the identical run through the
+// serial oracle (-engine serial) versus the sharded conservative-window
+// engine (-engine parallel -shards N). Results are byte-identical by
+// construction (the golden tests enforce it), so the only thing these
+// entries can measure is wall clock — which is the point. The SOR entry is
+// the `make scale` configuration (million-object SOR, 4096 nodes, fat-tree);
+// the serve entry is the serving smoke without a migration policy, since a
+// migration policy forces the serial fallback and the entry would silently
+// time serial against serial.
+func engineEntries(concertBin string, reps, shards int) []Entry {
+	if shards < 2 {
+		shards = 2
+	}
+	gogc := append(os.Environ(), "GOGC=300")
+	drivers := []struct {
+		name string
+		args []string
+		env  []string
+	}{
+		{"engine-parallel-sor",
+			[]string{"-app", "sor", "-nodes", "4096", "-size", "1024", "-iters", "1", "-net", "fattree"}, gogc},
+		{"engine-parallel-serve",
+			[]string{"-app", "serve", "-nodes", "8", "-size", "1024"}, nil},
+	}
+	var entries []Entry
+	for _, d := range drivers {
+		serialArgs := append(append([]string(nil), d.args...), "-engine", "serial")
+		parArgs := append(append([]string(nil), d.args...),
+			"-engine", "parallel", "-shards", strconv.Itoa(shards))
+		timeRunEnv(concertBin, serialArgs, d.env) // warm-up, as for the -j drivers
+		serial := bestOfEnv(reps, concertBin, serialArgs, d.env)
+		parallel := bestOfEnv(reps, concertBin, parArgs, d.env)
+		entries = append(entries, Entry{
+			Name:      d.name,
+			SerialS:   round(serial),
+			ParallelS: round(parallel),
+			Workers:   shards,
+			Speedup:   round(serial / parallel),
+		})
+	}
+	return entries
 }
 
 // scaleEntry times the headline scale run: a million-object SOR (1024x1024
@@ -194,9 +272,14 @@ func timeRunEnv(bin string, args, env []string) float64 {
 // bestOf returns the minimum wall clock over n runs — the standard defense
 // against a noisy neighbor inflating one sample.
 func bestOf(n int, bin string, args []string) float64 {
-	best := timeRun(bin, args)
+	return bestOfEnv(n, bin, args, nil)
+}
+
+// bestOfEnv is bestOf with an explicit child environment (nil inherits).
+func bestOfEnv(n int, bin string, args, env []string) float64 {
+	best := timeRunEnv(bin, args, env)
 	for i := 1; i < n; i++ {
-		if s := timeRun(bin, args); s < best {
+		if s := timeRunEnv(bin, args, env); s < best {
 			best = s
 		}
 	}

@@ -18,9 +18,11 @@
 //
 // Every app accepts -net fattree [-radix R] to route messages through a
 // simulated fat-tree interconnect (hop-count latency plus per-link
-// contention) instead of the flat uniform-latency model, and -event-queue
-// calendar|heap to pick the simulator's internal event queue (the results
-// are byte-identical either way; calendar is the fast default).
+// contention) instead of the flat uniform-latency model, -event-queue
+// calendar|heap to pick the simulator's internal event queue, and -engine
+// serial|parallel [-shards N] to pick the execution engine (results are
+// byte-identical across queues and engines; both are host-side performance
+// choices only).
 //
 // Add -verify to cross-check the simulated result against the native Go
 // reference implementation (for serve: every read-modify-write applied
@@ -74,6 +76,8 @@ func main() {
 	netName := flag.String("net", "flat", "interconnect model: flat (uniform latency) or fattree (hop count + per-link contention)")
 	radix := flag.Int("radix", 0, "fattree: switch radix (0 = default)")
 	queueName := flag.String("event-queue", "calendar", "simulator event queue: calendar or heap (byte-identical results; host performance only)")
+	engineName := flag.String("engine", "serial", "execution engine: serial or parallel (byte-identical results; host performance only)")
+	shards := flag.Int("shards", 0, "parallel engine: worker count (0 = one per CPU)")
 	verify := flag.Bool("verify", false, "check the result against the native reference")
 	profile := flag.Bool("profile", false, "print per-method cycle attribution and the critical path")
 	traceOut := flag.String("trace-out", "", "write the run as Chrome trace_event JSON to FILE")
@@ -83,6 +87,12 @@ func main() {
 		sim.SetDefaultQueue(k)
 	} else {
 		fatalf("unknown event queue %q (want calendar or heap)", *queueName)
+	}
+	if k, ok := sim.EngineByName(*engineName); ok {
+		sim.SetDefaultEngine(k)
+		sim.SetDefaultShards(*shards)
+	} else {
+		fatalf("unknown engine %q (want serial or parallel)", *engineName)
 	}
 
 	mdl := machine.ByName(*machineName)

@@ -116,6 +116,36 @@ func TestTablesQueueGolden(t *testing.T) {
 	}
 }
 
+// TestTablesEngineGolden is the PDES engine's golden guarantee: every
+// published table must be byte-identical between the serial engine (the
+// oracle) and the sharded parallel engine. The total event order
+// (time, context, sequence) is engine-independent and every cross-shard side
+// effect commits in that order, so goroutine scheduling cannot move a byte.
+// Configurations the parallel engine declines (migration policies, reliable
+// over fat-tree) fall back to serial dispatch inside the same run — the
+// comparison covers that gating too.
+func TestTablesEngineGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every table twice")
+	}
+	tables := []func(string, int64){table2, table3, table4, table5, table6, table7, table8, table9, table10}
+
+	adorn = nil
+	oldEng := sim.SetDefaultEngine(sim.EngineSerial)
+	defer sim.SetDefaultEngine(oldEng)
+	serial := captureTables(t, tables)
+
+	sim.SetDefaultEngine(sim.EngineParallel)
+	oldShards := sim.SetDefaultShards(4)
+	defer sim.SetDefaultShards(oldShards)
+	parallel := captureTables(t, tables)
+
+	if serial != parallel {
+		t.Fatalf("tables differ between engines:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
 // TestTablesParallelGolden is the experiment runner's golden guarantee:
 // every published table must be byte-identical between -j 1 (the sequential
 // reference execution) and -j 8. Each cell is an isolated deterministic

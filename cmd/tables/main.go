@@ -111,7 +111,17 @@ func main() {
 	profile := flag.Bool("profile", false, "append per-kernel cycle attribution and critical paths")
 	traceOut := flag.String("trace-out", "", "with -profile: write the SOR run as trace_event JSON to FILE")
 	checkDecls := flag.Bool("checkdecls", false, "arm the runtime declaration sanitizer (core.Config.CheckDecls) for every run")
+	engineName := flag.String("engine", "serial", "execution engine: serial or parallel (tables are byte-identical either way; host performance only)")
+	shards := flag.Int("shards", 0, "parallel engine: worker count per simulation (0 = one per CPU)")
 	flag.Parse()
+
+	if k, ok := sim.EngineByName(*engineName); ok {
+		sim.SetDefaultEngine(k)
+		sim.SetDefaultShards(*shards)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown -engine %q (want serial or parallel)\n", *engineName)
+		os.Exit(2)
+	}
 
 	if *checkDecls {
 		// Compose with any other adorner: the sanitizer adds no virtual

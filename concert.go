@@ -172,6 +172,29 @@ func SetEventQueue(name string) bool {
 	return true
 }
 
+// SetEngine selects the engine-wide execution engine by name: "serial" (the
+// one-queue oracle) or "parallel"/"pdes" (conservative window-synchronized
+// shards across goroutines; see internal/sim/parallel.go). Both dispatch the
+// identical deterministic total event order, so simulated results are
+// byte-identical; like SetEventQueue the choice is purely a host-side
+// performance matter. Configurations the parallel engine cannot shard
+// soundly (a Migration policy, or the reliable layer over a contended
+// topology) silently fall back to serial dispatch — Engine.Workers() reports
+// what actually ran. It returns false (changing nothing) for an unknown
+// name. Affects engines created after the call.
+func SetEngine(name string) bool {
+	k, ok := sim.EngineByName(name)
+	if !ok {
+		return false
+	}
+	sim.SetDefaultEngine(k)
+	return true
+}
+
+// SetEngineShards sets the shard (worker) count used by subsequently created
+// parallel engines; 0 restores the default of one per available CPU.
+func SetEngineShards(n int) { sim.SetDefaultShards(n) }
+
 // System is one simulated machine running one program under one
 // execution-model configuration.
 type System struct {

@@ -71,7 +71,7 @@ func TestFatTreeDeterministicRun(t *testing.T) {
 		var res Result
 		rt.StartOn(0, fib, self, &res, IntW(13))
 		rt.Run()
-		return eng.MaxClock(), eng.EventCount, rt.TotalStats()
+		return eng.MaxClock(), eng.EventCount(), rt.TotalStats()
 	}
 	t1, e1, s1 := run()
 	t2, e2, s2 := run()

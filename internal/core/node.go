@@ -71,6 +71,12 @@ type NodeRT struct {
 	// within the commit delay share it (see requestFlush in recover.go).
 	flushPending bool
 
+	// recov holds this node's share of the recovery accounting that is
+	// mutated from node-context events (checkpoint shipping, restores) —
+	// per-node rather than on RT so parallel shards never write one shared
+	// struct. RT.Recov() sums it with the global-phase aggregate.
+	recov RecoveryStats
+
 	Stats NodeStats
 }
 

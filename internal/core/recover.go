@@ -82,8 +82,19 @@ type RecoveryStats struct {
 	CkptWords       int64    // total snapshot payload words shipped
 }
 
-// Recov returns the machine-wide crash-recovery statistics.
-func (rt *RT) Recov() RecoveryStats { return rt.recov }
+// Recov returns the machine-wide crash-recovery statistics: the global-phase
+// aggregate (crash-side accounting) plus the per-node counters mutated from
+// node-context events (checkpoint shipping, restores), which live on NodeRT
+// so concurrent shards never write one shared struct.
+func (rt *RT) Recov() RecoveryStats {
+	s := rt.recov
+	for _, n := range rt.Nodes {
+		s.RestoredObjects += n.recov.RestoredObjects
+		s.RecoveryTime += n.recov.RecoveryTime
+		s.CkptWords += n.recov.CkptWords
+	}
+	return s
+}
 
 // backup returns the node holding checkpoints for owner's objects.
 func (rt *RT) backup(owner int) int { return (owner + 1) % len(rt.Nodes) }
@@ -373,7 +384,9 @@ func (rt *RT) shipNode(n *NodeRT) {
 	if n.Sim.Down() {
 		return
 	}
-	now := rt.Eng.Now()
+	// Node-scoped time: shipNode runs from the global checkpoint tick and
+	// from node-context flush timers alike.
+	now := n.Sim.Now()
 	// The re-ship timeout must sit well above a checkpoint ack's round trip
 	// (including inbox queueing on a loaded backup), or a short checkpoint
 	// period re-ships every in-flight snapshot every tick and the protocol
@@ -402,7 +415,7 @@ func (rt *RT) shipNode(n *NodeRT) {
 		o.snapAt = now
 		batch = append(batch, ckptItem{ref: o.Ref, ver: o.mutVer, words: words})
 		n.Stats.CkptsTaken++
-		rt.recov.CkptWords += int64(len(words))
+		n.recov.CkptWords += int64(len(words))
 		rt.traceEvent(n, uint8(trace.KCheckpoint), nil, int64(len(words)))
 	}
 	b := rt.Nodes[rt.backup(n.ID)]
@@ -454,7 +467,7 @@ func (rt *RT) requestFlush(n *NodeRT) {
 		return
 	}
 	n.flushPending = true
-	rt.Eng.AfterFunc(rt.flushDelay(), func() {
+	n.Sim.AfterFunc(rt.flushDelay(), func() {
 		n.flushPending = false
 		rt.shipNode(n)
 		rt.Eng.Wake(n.Sim)
@@ -553,11 +566,11 @@ func (rt *RT) handleRestore(n *NodeRT, msg *Msg) {
 		obj.State.(Checkpointable).RestoreWords(it.words)
 		n.objects[it.ref.Index] = obj
 		n.Stats.CkptsRestored++
-		rt.recov.RestoredObjects++
-		rt.traceEventAt(n, rt.Eng.Now(), uint8(trace.KRecover), nil, int64(RefW(it.ref)))
+		n.recov.RestoredObjects++
+		rt.traceEventAt(n, n.Sim.Now(), uint8(trace.KRecover), nil, int64(RefW(it.ref)))
 		n.lostObjs--
 		if n.lostObjs == 0 {
-			rt.recov.RecoveryTime += rt.Eng.Now() - n.rejoinAt
+			n.recov.RecoveryTime += n.Sim.Now() - n.rejoinAt
 			n.lostObjs = -1
 		}
 		if q := n.parked[obj.Ref]; q != nil {

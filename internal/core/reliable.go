@@ -164,8 +164,11 @@ func (rt *RT) send(from, to *NodeRT, msg *Msg, w int, lat instr.Instr) {
 			trace.PackMsg(to.ID, msg.wireSeq, w))
 	}
 	if !rt.reliable() {
-		lat = rt.netDelay(from, to, w, from.Sim.Clock, lat)
-		rt.Eng.Send(from.Sim, to.Sim, lat, w, func() { rt.deliverInbox(to, msg) })
+		// Routed through the engine's ordered commit point: the topology
+		// hook (netDelay's Network arm) runs there, where mutating shared
+		// link-contention state is safe under the parallel engine. Serial
+		// execution applies it inline right here, exactly as before.
+		rt.Eng.SendRouted(from.Sim, to.Sim, from.Sim.Clock, lat, w, func() { rt.deliverInbox(to, msg) })
 		return
 	}
 	l := from.outLink(to.ID)
@@ -173,7 +176,7 @@ func (rt *RT) send(from, to *NodeRT, msg *Msg, w int, lat instr.Instr) {
 	f := &relFrame{seq: l.nextSeq, msg: msg, words: w + relSeqWords, lat: lat, rto: rt.rtoBase()}
 	l.pending = append(l.pending, f)
 	start := from.Sim.Clock
-	if now := rt.Eng.Now(); start < now {
+	if now := from.Sim.Now(); start < now {
 		start = now
 	}
 	rt.sendFrame(from, to, l, f, start)
@@ -229,7 +232,9 @@ func (rt *RT) armRetransmit(n *NodeRT, l *sendLink) {
 		l.timer.Stop()
 	}
 	l.timerAt = at
-	l.timer = rt.Eng.AfterFunc(at-rt.Eng.Now(), func() {
+	// Node-scoped timer: the link belongs to n, so the timer event must run
+	// (and be cancellable) in n's context on n's shard.
+	l.timer = n.Sim.AfterFunc(at-n.Sim.Now(), func() {
 		l.timer = nil
 		rt.retransmit(n, l)
 	})
@@ -240,7 +245,7 @@ func (rt *RT) armRetransmit(n *NodeRT, l *sendLink) {
 // the sending node like an original injection: recovering from loss costs
 // virtual time.
 func (rt *RT) retransmit(n *NodeRT, l *sendLink) {
-	now := rt.Eng.Now()
+	now := n.Sim.Now()
 	to := rt.Nodes[l.to]
 	rtoMax := rt.rtoCap()
 	for _, f := range l.pending {
@@ -316,7 +321,7 @@ func (rt *RT) deliverInbox(n *NodeRT, msg *Msg) {
 	n.inbox.push(msg)
 	if rt.Cfg.Tracer != nil {
 		at := n.Sim.Clock
-		if now := rt.Eng.Now(); now > at {
+		if now := n.Sim.Now(); now > at {
 			at = now
 		}
 		rt.traceEventAt(n, at, uint8(trace.KMsgRecv), msg.method,
@@ -331,7 +336,7 @@ func (rt *RT) scheduleAck(n *NodeRT, l *recvLink) {
 	if l.ackTimer != nil {
 		return
 	}
-	l.ackTimer = rt.Eng.AfterFunc(sim.Time(rt.ackDelay()), func() {
+	l.ackTimer = n.Sim.AfterFunc(sim.Time(rt.ackDelay()), func() {
 		l.ackTimer = nil
 		rt.sendAck(n, l)
 	})
@@ -351,8 +356,9 @@ func (rt *RT) sendAck(n *NodeRT, l *recvLink) {
 	// Departs at the event time of the ack timer, not the node's clock: acks
 	// are NIC-level and must not queue behind a busy CPU, or a loaded
 	// receiver would provoke spurious retransmissions from every sender.
-	lat := rt.netDelay(n, peer, ackWords, rt.Eng.Now(), rt.Model.ReplyLatency)
-	rt.Eng.SendAt(n.Sim, peer.Sim, rt.Eng.Now(), lat, ackWords,
+	now := n.Sim.Now()
+	lat := rt.netDelay(n, peer, ackWords, now, rt.Model.ReplyLatency)
+	rt.Eng.SendAt(n.Sim, peer.Sim, now, lat, ackWords,
 		func() { rt.recvAck(peer, n.ID, epoch, cursor) })
 }
 
@@ -389,20 +395,25 @@ func (rt *RT) installFaults() {
 		return
 	}
 	rt.Eng.SetFaults(rt.Cfg.Faults)
-	rt.Eng.SetFaultObserver(func(kind sim.FaultKind, from, to int, words int, aux sim.Time) {
+	// The observer always runs in ordered (single-threaded) context — wire
+	// faults are drawn at the engine's commit point — and `at` carries the
+	// relevant node's clock captured at the injection, which under the
+	// parallel engine may predate the node's live clock (traces must stamp
+	// the send instruction's time, not the barrier's).
+	rt.Eng.SetFaultObserver(func(kind sim.FaultKind, from, to int, words int, aux, at sim.Time) {
 		n := rt.Nodes[from]
 		switch kind {
 		case sim.FaultDrop:
 			n.Stats.DropsSeen++
-			rt.traceEvent(n, uint8(trace.KDrop), nil, int64(words))
+			rt.traceEventAt(n, at, uint8(trace.KDrop), nil, int64(words))
 		case sim.FaultDup:
-			rt.traceEvent(n, uint8(trace.KDupWire), nil, int64(words))
+			rt.traceEventAt(n, at, uint8(trace.KDupWire), nil, int64(words))
 		case sim.FaultJitter:
 			// Reordering needs no recovery; it is visible as out-of-order
 			// buffering at the receiver, so it is not traced separately.
 		case sim.FaultStall, sim.FaultSlow:
 			n.Stats.Stalls++
-			rt.traceEvent(n, uint8(trace.KStall), nil, int64(aux))
+			rt.traceEventAt(n, at, uint8(trace.KStall), nil, int64(aux))
 		case sim.FaultCrash:
 			rt.onCrash(n, aux)
 		case sim.FaultRejoin:

@@ -26,10 +26,19 @@ type RT struct {
 
 	// Crash-recovery state (see recover.go). incs holds per-node incarnation
 	// numbers (bumped at each rejoin); ckptStarted latches the checkpoint
-	// tick; recov aggregates machine-wide recovery accounting.
+	// tick; recov aggregates the machine-wide recovery accounting mutated
+	// only in global (single-threaded) phases — per-node recovery counters
+	// live on NodeRT.recov and are summed by Recov().
 	incs        []int32
 	ckptStarted bool
 	recov       RecoveryStats
+
+	// parEng is set when the engine actually runs sharded (parallel PDES):
+	// observer callbacks then defer their sink calls through sim.Node.Ordered
+	// so shared buffers see the serial engine's exact sequence. Kept as a
+	// flag (rather than asking the engine each time) to keep the serial hot
+	// path free of closure allocations.
+	parEng bool
 }
 
 // NewRT builds a runtime over eng with the given machine model, resolved
@@ -56,9 +65,42 @@ func NewRT(eng *sim.Engine, mdl *machine.Model, prog *Program, cfg Config) *RT {
 		rt.Nodes[i] = &NodeRT{ID: i, Sim: eng.Node(i), rt: rt}
 	}
 	eng.SetRunner(rt)
+	rt.installEngine()
 	rt.installFaults()
 	rt.installMetrics()
 	return rt
+}
+
+// installEngine wires the topology-latency hook and, when the configuration
+// is eligible, switches a parallel-kind engine into sharded execution.
+//
+// The lookahead is the minimum latency of any transmission: the topology's
+// static MinDelay when a Network is installed, else the flat model's
+// MinNetDelay. Two configurations fall back to serial dispatch (results are
+// byte-identical either way; Eng.Workers() reports the truth):
+//
+//   - Migration: owners update residence counters on every access, across
+//     nodes, which cannot run concurrently per shard.
+//   - Reliable + Network: the reliable layer needs each frame's contended
+//     latency at send time (for the retransmit deadline and the link
+//     high-water mark), but contended latencies can only be computed at the
+//     ordered commit point. The flat model's latencies are pure functions,
+//     so Reliable alone stays eligible.
+func (rt *RT) installEngine() {
+	if rt.net != nil {
+		net := rt.net
+		rt.Eng.SetNetDelay(func(from, to, words int, depart, flat sim.Time) sim.Time {
+			return net.Delay(from, to, words, depart)
+		})
+	}
+	if rt.Cfg.Migration != nil || (rt.Cfg.Reliable && rt.net != nil) {
+		return
+	}
+	la := rt.Model.MinNetDelay()
+	if rt.net != nil {
+		la = rt.net.MinDelay()
+	}
+	rt.parEng = rt.Eng.EnableParallel(la)
 }
 
 // installMetrics wires the configured metrics sink into the engine's charge
@@ -71,9 +113,18 @@ func (rt *RT) installMetrics() {
 		return
 	}
 	rt.Eng.SetChargeObserver(func(node int, op instr.Op, start, cost sim.Time) {
+		n := rt.Nodes[node]
+		// The executing method is resolved here, at the charge, where curM
+		// is still current; only the sink call defers under the parallel
+		// engine (the sink is shared across nodes and must observe charges
+		// in total event order).
 		name := ""
-		if m := rt.Nodes[node].curM; m != nil {
+		if m := n.curM; m != nil {
 			name = m.Name
+		}
+		if rt.parEng {
+			n.Sim.Ordered(func() { ms.ObserveCharge(node, start, name, uint8(op), int64(cost)) })
+			return
 		}
 		ms.ObserveCharge(node, start, name, uint8(op), int64(cost))
 	})
@@ -115,6 +166,17 @@ func (rt *RT) Run() sim.Time {
 	rt.startHeartbeat()
 	rt.startCheckpoints()
 	rt.Eng.Run()
+	return rt.Eng.MaxClock()
+}
+
+// RunUntil drives the simulation until virtual time t (or quiescence,
+// whichever comes first) and returns the maximum node clock. Harnesses use
+// it to bound runs whose completion is not guaranteed — e.g. crash
+// injection, where destroyed frames are modeled lost work.
+func (rt *RT) RunUntil(t sim.Time) sim.Time {
+	rt.startHeartbeat()
+	rt.startCheckpoints()
+	rt.Eng.RunUntil(t)
 	return rt.Eng.MaxClock()
 }
 
@@ -183,6 +245,13 @@ func (rt *RT) traceEventAt(n *NodeRT, at sim.Time, kind uint8, m *Method, aux in
 	name := ""
 	if m != nil {
 		name = m.Name
+	}
+	if rt.parEng {
+		// The trace buffer is shared across nodes: defer the append to the
+		// ordered commit point so records land in total event order (the
+		// fields are resolved here; only the Record call moves).
+		n.Sim.Ordered(func() { rt.Cfg.Tracer.Record(n.ID, at, kind, name, aux) })
+		return
 	}
 	rt.Cfg.Tracer.Record(n.ID, at, kind, name, aux)
 }

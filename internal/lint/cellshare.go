@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // CellShare checks experiment-cell isolation at internal/exp call sites.
@@ -30,12 +31,26 @@ import (
 //     Tracer, Metrics or Network field is a captured identifier rather than
 //     a fresh per-cell construction (call, literal or function literal).
 //
+// Since the PDES engine landed, the same bug class exists one level down:
+// inside package sim itself, methods on *Node, *shard and *Timer execute on
+// worker goroutines during a parallel window, so a write through the
+// receiver's eng field (`n.eng.pending++`, `sh.eng.shards[0].now = t`) is
+// engine-global state mutated from a sharded execution context — racy under
+// -race and, worse, order-dependent even when atomic. The pass flags every
+// such write (assignment, op-assignment, increment/decrement, append target)
+// in window-phase receivers, looking through index expressions. The one
+// sanctioned escape hatch is recognized: a function literal handed to an
+// Ordered(...) call runs single-threaded at the barrier's ordered commit, so
+// writes inside it are exempt. Reads, and mutations hidden behind method
+// calls (sh.eng.wg.Done()), are outside the pass's view — the -race pdes CI
+// job and the serial/parallel golden tests are the dynamic backstop.
+//
 // Conservatism: mutations hidden behind method calls or helper functions
 // are invisible (the -race CI job and the golden -j 1/-j N tests are the
 // dynamic backstop), and non-literal cell functions are skipped.
 var CellShare = &Analyzer{
 	Name: "cellshare",
-	Doc:  "check exp.Map/Run/MapErr cell closures for shared mutable captures",
+	Doc:  "check exp.Map/Run/MapErr cell closures and engine window-phase code for shared mutable state",
 	Run:  runCellShare,
 }
 
@@ -50,6 +65,9 @@ var sharedHandleFields = map[string]bool{
 
 func runCellShare(pass *Pass) error {
 	for _, file := range pass.Files {
+		if file.Name.Name == "sim" {
+			checkEngineShards(pass, file)
+		}
 		expName := importLocalName(file, expPath)
 		if expName == "" {
 			continue
@@ -273,6 +291,133 @@ func checkCellWrite(pass *Pass, lhs ast.Expr, idxName string, free func(string) 
 	}
 	pass.Reportf(lhs.Pos(), "unsound",
 		"cell mutates captured %s: the variable is shared across parallel cells, so the result depends on worker interleaving; make it cell-local or return it", key)
+}
+
+// windowReceivers are the engine types whose methods execute on worker
+// goroutines during a parallel window: *Node and *shard run event bodies and
+// queue maintenance inside runWindow, and *Timer.Stop is shard-local for
+// exactly this reason. Methods on *Engine are not listed — the engine's own
+// methods (round, replay, the barrier) run on the coordinating goroutine
+// between windows, where engine-global writes are the whole point.
+var windowReceivers = map[string]bool{"Node": true, "shard": true, "Timer": true}
+
+// checkEngineShards applies the cross-shard rule to one file of package sim:
+// inside a window-phase method, any write whose selector chain passes
+// through the receiver's eng field mutates engine-global state from a
+// sharded execution context. Function literals handed to Ordered(...) are
+// exempt — they run single-threaded at the barrier's ordered commit.
+func checkEngineShards(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) != 1 {
+			continue
+		}
+		recv := fd.Recv.List[0]
+		if !windowReceivers[receiverTypeName(recv.Type)] || len(recv.Names) == 0 {
+			continue
+		}
+		rname := recv.Names[0].Name
+		if rname == "" || rname == "_" {
+			continue
+		}
+		checkWindowBody(pass, fd, rname)
+	}
+}
+
+// checkWindowBody walks one window-phase method body and reports writes
+// through <recv>.eng outside Ordered closures.
+func checkWindowBody(pass *Pass, fd *ast.FuncDecl, rname string) {
+	// Closures handed to Ordered run at the barrier, single-threaded: the
+	// sanctioned way to touch engine-global state from window-phase code.
+	ordered := map[*ast.FuncLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Ordered" {
+			for _, a := range call.Args {
+				if lit, ok := a.(*ast.FuncLit); ok {
+					ordered[lit] = true
+				}
+			}
+		}
+		return true
+	})
+
+	engWrite := func(e ast.Expr) string {
+		key := indexedKeyOf(e)
+		rest, ok := strings.CutPrefix(key, rname+".eng")
+		if ok && (rest == "" || rest[0] == '.') {
+			return key
+		}
+		return ""
+	}
+	report := func(pos token.Pos, key string) {
+		pass.Reportf(pos, "unsound",
+			"(*%s).%s writes engine-global %s from a window-phase context: shards run concurrently inside a window, so cross-shard state may only change at the barrier; defer the write with Ordered or keep it shard-local",
+			receiverTypeName(fd.Recv.List[0].Type), fd.Name.Name, key)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && ordered[lit] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if key := engWrite(lhs); key != "" {
+					report(lhs.Pos(), key)
+				}
+			}
+		case *ast.IncDecStmt:
+			// Appends need no case of their own: the mutating idiom
+			// `x.eng.s = append(x.eng.s, …)` is caught by its assignment LHS,
+			// and an append whose result is not stored back mutates nothing.
+			if key := engWrite(n.X); key != "" {
+				report(n.X.Pos(), key)
+			}
+		}
+		return true
+	})
+}
+
+// indexedKeyOf canonicalizes a write target like keyOf, but additionally
+// looks through index expressions ("sh.eng.shards[0].now" ->
+// "sh.eng.shards.now"): indexing into engine-global state is still a write
+// to engine-global state.
+func indexedKeyOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := indexedKeyOf(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return indexedKeyOf(e.X)
+	case *ast.StarExpr:
+		return indexedKeyOf(e.X)
+	case *ast.IndexExpr:
+		return indexedKeyOf(e.X)
+	}
+	return ""
+}
+
+// receiverTypeName returns the bare type name of a method receiver
+// ("*shard" -> "shard"), or "" for anything unrecognized.
+func receiverTypeName(t ast.Expr) string {
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
 }
 
 // isConfigType recognizes (&)core.Config / concert.Config composite-literal

@@ -1,0 +1,63 @@
+// Package sim (fixture): every seeded cross-shard mutation in window-phase
+// engine code that the cellshare engine-shard rule must flag. The types
+// mirror the real engine's shape — Node, shard and Timer each hold an eng
+// back-pointer — but nothing here compiles against the real simulator; the
+// pass is purely syntactic.
+package sim
+
+type fakeEngine struct {
+	pending int
+	counts  []int
+	shards  []*shard
+	gsh     *shard
+}
+
+type shard struct {
+	eng *fakeEngine
+	now int
+	log []int
+}
+
+type Node struct {
+	eng   *fakeEngine
+	Clock int
+}
+
+type Timer struct {
+	eng   *fakeEngine
+	fired bool
+}
+
+func (n *Node) sched(fn func()) { fn() }
+
+// deliver runs in node context during a window: engine-global writes race
+// with every other shard.
+func (n *Node) deliver(v int) {
+	n.Clock++                              // own node state: shard-local, fine
+	n.eng.pending++                        // want:unsound
+	n.eng.counts = append(n.eng.counts, v) // want:unsound
+	n.eng.gsh.now = v                      // want:unsound
+}
+
+// dispatch shows the indexed form: writing through eng.shards[i] is still a
+// write to engine-global state, whichever shard the index names.
+func (sh *shard) dispatch(i int) {
+	sh.now = i               // own shard state: fine
+	sh.eng.shards[0].now = i // want:unsound
+	sh.eng.pending = i       // want:unsound
+}
+
+// Stop is shard-local by contract; decrementing an engine counter from it
+// breaks that contract.
+func (t *Timer) Stop() {
+	t.fired = true
+	t.eng.pending-- // want:unsound
+}
+
+// indirect: a nested function literal scheduled from a window-phase method
+// still executes in window phase — only Ordered closures are exempt.
+func (n *Node) indirect() {
+	n.sched(func() {
+		n.eng.pending++ // want:unsound
+	})
+}

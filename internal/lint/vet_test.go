@@ -98,6 +98,40 @@ func TestCellShareGoodFixture(t *testing.T) {
 	checkFixture(t, []*Analyzer{CellShare}, "cellsharegood", "cellsharegood.go")
 }
 
+// TestShardShareBadFixture: the engine-shard rule — window-phase methods
+// (*Node, *shard, *Timer in package sim) writing engine-global state through
+// the receiver's eng field must each produce the marked diagnostic.
+func TestShardShareBadFixture(t *testing.T) {
+	findings := checkFixture(t, []*Analyzer{CellShare}, "shardsharebad", "shardsharebad.go")
+	wantSub := []string{
+		"(*Node).deliver writes engine-global n.eng.pending",
+		"(*Node).deliver writes engine-global n.eng.counts",
+		"(*Node).deliver writes engine-global n.eng.gsh.now",
+		"(*shard).dispatch writes engine-global sh.eng.shards.now",
+		"(*shard).dispatch writes engine-global sh.eng.pending",
+		"(*Timer).Stop writes engine-global t.eng.pending",
+		"(*Node).indirect writes engine-global n.eng.pending",
+	}
+	for _, sub := range wantSub {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding contains %q", sub)
+		}
+	}
+}
+
+// TestShardShareGoodFixture: reads, receiver-own writes, the commit-log
+// append, Ordered closures and Engine methods must all stay quiet.
+func TestShardShareGoodFixture(t *testing.T) {
+	checkFixture(t, []*Analyzer{CellShare}, "shardsharegood", "shardsharegood.go")
+}
+
 func TestGoldenPathBadFixture(t *testing.T) {
 	findings := checkFixture(t, []*Analyzer{GoldenPath}, "goldenpathbad", "goldenpathbad.go")
 	wantSub := []string{

@@ -98,6 +98,20 @@ func (m *Model) HeapInvoke(nargs int) instr.Instr {
 		m.CCall + m.FutureFill + m.CtxFree
 }
 
+// MinNetDelay returns a static lower bound on the flat-model latency of any
+// transmission. The runtime's flat latencies are NetLatency (+ per-word
+// serialization) for requests and data, and ReplyLatency for replies and
+// acks, so the cheapest possible wire crossing is the smaller of the two.
+// The parallel engine uses this as its conservative lookahead when no
+// topology model (Network) is installed.
+func (m *Model) MinNetDelay() instr.Instr {
+	d := m.NetLatency
+	if m.ReplyLatency < d {
+		d = m.ReplyLatency
+	}
+	return d
+}
+
 // RemoteInvoke returns the end-to-end overhead of one remote invocation
 // (request send + latency + handler + reply + reply latency + fill),
 // excluding any execution-model cost at the remote end. On the CM-5 model

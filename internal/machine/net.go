@@ -17,6 +17,13 @@ type Network interface {
 	// Delay returns the network latency, in instructions, for a
 	// words-word payload departing src toward dst at time depart.
 	Delay(src, dst, words int, depart instr.Instr) instr.Instr
+
+	// MinDelay returns a static positive lower bound on Delay over every
+	// (src, dst, words, depart): the cheapest transmission the topology can
+	// produce. The parallel engine uses it as the conservative lookahead —
+	// no message can cross shards in less virtual time — so the bound must
+	// hold unconditionally, not just for typical traffic.
+	MinDelay() instr.Instr
 }
 
 // FatTree models a folded-Clos (fat-tree) interconnect of the given radix:
@@ -96,6 +103,11 @@ func NewFatTree(nodes, radix int, m *Model) *FatTree {
 	}
 	return ft
 }
+
+// MinDelay implements Network: every route crosses at least one switch
+// (even src == dst pays one hop), and contention and per-word serialization
+// only add to that.
+func (ft *FatTree) MinDelay() instr.Instr { return ft.hopLat }
 
 // Delay implements Network.
 func (ft *FatTree) Delay(src, dst, words int, depart instr.Instr) instr.Instr {

@@ -160,10 +160,17 @@ func (k FaultKind) String() string {
 
 // FaultObserver is notified of every injected fault: kind, the nodes
 // involved (from == to for stall/slow windows), the message payload in
-// words (0 for windows), and aux (extra jitter for FaultJitter, window
-// length for FaultStall/FaultSlow). Installed by the runtime layer to
-// record trace events and per-node statistics.
-type FaultObserver func(kind FaultKind, from, to int, words int, aux Time)
+// words (0 for windows), aux (extra jitter for FaultJitter, window length
+// for FaultStall/FaultSlow), and at — the relevant node's clock at the
+// injection point (the sender's clock for wire faults, the victim's for
+// windows). The clock is passed explicitly because under the parallel
+// engine wire faults are evaluated at the ordered commit point, by which
+// time the sender's live clock may have advanced past the send; at is
+// captured at the send instruction, so observers timestamp identically
+// under either engine. Installed by the runtime layer to record trace
+// events and per-node statistics; always called in ordered (single-
+// threaded, total-order) context.
+type FaultObserver func(kind FaultKind, from, to int, words int, aux Time, at Time)
 
 // FaultStats counts injected faults engine-wide.
 type FaultStats struct {
@@ -246,10 +253,21 @@ func (e *Engine) Faults() *Faults {
 	return e.faults.cfg
 }
 
-// FaultStats returns the engine-wide injected-fault counts.
-func (e *Engine) FaultStats() FaultStats { return e.faultStats }
+// FaultStats returns the engine-wide injected-fault counts. CrashDrops are
+// counted by the shard that owns the crashed destination (delivery events
+// run inside parallel windows) and summed here.
+func (e *Engine) FaultStats() FaultStats {
+	s := e.faultStats
+	s.CrashDrops = e.gsh.crashDrops
+	for _, sh := range e.shards {
+		if sh != e.gsh {
+			s.CrashDrops += sh.crashDrops
+		}
+	}
+	return s
+}
 
-func (e *Engine) observeFault(kind FaultKind, from, to *Node, words int, aux Time) {
+func (e *Engine) observeFault(kind FaultKind, from, to *Node, words int, aux Time, at Time) {
 	switch kind {
 	case FaultDrop:
 		e.faultStats.Drops++
@@ -267,7 +285,7 @@ func (e *Engine) observeFault(kind FaultKind, from, to *Node, words int, aux Tim
 		e.faultStats.Rejoins++
 	}
 	if e.faults.obs != nil {
-		e.faults.obs(kind, from.ID, to.ID, words, aux)
+		e.faults.obs(kind, from.ID, to.ID, words, aux, at)
 	}
 }
 
@@ -284,17 +302,17 @@ func (e *Engine) startFaultClock() {
 	if cfg.StallEvery > 0 {
 		for _, n := range e.nodes {
 			e.scheduleWindow(n, cfg.StallEvery, func(n *Node) {
-				n.stallUntil = e.now + cfg.StallLen
-				e.observeFault(FaultStall, n, n, 0, cfg.StallLen)
+				n.stallUntil = e.Now() + cfg.StallLen
+				e.observeFault(FaultStall, n, n, 0, cfg.StallLen, n.Clock)
 			})
 		}
 	}
 	if cfg.SlowEvery > 0 {
 		for _, n := range e.nodes {
 			e.scheduleWindow(n, cfg.SlowEvery, func(n *Node) {
-				n.slowUntil = e.now + cfg.SlowLen
+				n.slowUntil = e.Now() + cfg.SlowLen
 				n.slowFactor = cfg.SlowFactor
-				e.observeFault(FaultSlow, n, n, 0, cfg.SlowLen)
+				e.observeFault(FaultSlow, n, n, 0, cfg.SlowLen, n.Clock)
 			})
 		}
 	}
@@ -318,18 +336,18 @@ func (e *Engine) scheduleCrashes() {
 			return
 		}
 		n := e.nodes[f.rng.IntN(len(e.nodes))]
-		n.downUntil = e.now + cfg.CrashLen
+		n.downUntil = e.Now() + cfg.CrashLen
 		// A down node is also stalled: the pump-gating machinery defers any
 		// scheduled pump to the window edge, so nothing executes while down.
 		if n.stallUntil < n.downUntil {
 			n.stallUntil = n.downUntil
 		}
-		e.observeFault(FaultCrash, n, n, 0, cfg.CrashLen)
+		e.observeFault(FaultCrash, n, n, 0, cfg.CrashLen, n.Clock)
 		e.ScheduleService(n.downUntil, func() {
-			e.observeFault(FaultRejoin, n, n, 0, 0)
+			e.observeFault(FaultRejoin, n, n, 0, 0, n.Clock)
 			e.Wake(n)
 			// Next crash interval starts at this rejoin.
-			e.ScheduleService(e.now+f.interval(cfg.CrashEvery), fire)
+			e.ScheduleService(e.Now()+f.interval(cfg.CrashEvery), fire)
 		})
 	}
 	e.ScheduleService(f.interval(cfg.CrashEvery), fire)
@@ -347,7 +365,7 @@ func (e *Engine) scheduleWindow(n *Node, every Time, open func(*Node)) {
 		}
 		open(n)
 		e.Wake(n) // the window must end even on an otherwise idle node
-		e.ScheduleService(e.now+e.faults.interval(every), fire)
+		e.ScheduleService(e.Now()+e.faults.interval(every), fire)
 	}
-	e.ScheduleService(e.now+e.faults.interval(every), fire)
+	e.ScheduleService(e.Now()+e.faults.interval(every), fire)
 }

@@ -238,7 +238,7 @@ func TestCrashWindowsOpen(t *testing.T) {
 		from, to Time
 	}
 	var crashes []window
-	eng.SetFaultObserver(func(kind FaultKind, from, to int, words int, aux Time) {
+	eng.SetFaultObserver(func(kind FaultKind, from, to int, words int, aux, at Time) {
 		switch kind {
 		case FaultCrash:
 			crashes = append(crashes, window{from, eng.Now(), eng.Now() + aux})
@@ -283,7 +283,7 @@ func TestCrashScheduleDeterministic(t *testing.T) {
 		newFifo(eng, 1)
 		eng.SetFaults(&Faults{Seed: seed, CrashEvery: 300, CrashLen: 40})
 		var sched [][2]int64
-		eng.SetFaultObserver(func(kind FaultKind, from, to int, words int, aux Time) {
+		eng.SetFaultObserver(func(kind FaultKind, from, to int, words int, aux, at Time) {
 			if kind == FaultCrash {
 				sched = append(sched, [2]int64{int64(from), int64(eng.Now())})
 			}

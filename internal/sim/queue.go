@@ -6,10 +6,16 @@ import "container/heap"
 // exist: the original container/heap binary heap (the oracle — simple,
 // O(log n), easy to trust) and a calendar queue (O(1) amortized, the
 // production store for large runs). Events are totally ordered by
-// (at, seq), so any correct priority queue dequeues in exactly the same
-// order: TestCalendarMatchesHeapOracle asserts it under random
-// insert/cancel workloads, and the cmd/tables golden test asserts the
-// published tables are byte-identical under either store.
+// (at, src, seq) — time, then scheduling context, then that context's own
+// sequence counter — so any correct priority queue dequeues in exactly the
+// same order regardless of insertion order. The context in the key is what
+// makes the order shard-independent: the serial loop and the parallel
+// engine's shards insert the same events in different interleavings, but
+// compare them identically. TestCalendarMatchesHeapOracle asserts the
+// stores agree under random insert/cancel workloads,
+// TestQueueTieBreakTwoProducers pins the same-instant cross-producer order,
+// and the cmd/tables golden test asserts the published tables are
+// byte-identical under either store.
 
 // QueueKind selects the engine's event-queue implementation.
 type QueueKind uint8
@@ -49,7 +55,7 @@ func QueueByName(name string) (QueueKind, bool) {
 // only be called on a non-empty queue.
 type eventQueue interface {
 	push(ev event)
-	pop() event   // minimum by (at, seq)
+	pop() event   // minimum by (at, src, seq)
 	peekAt() Time // at of the minimum, without removing it
 	len() int
 	// compact removes every event for which dead returns true, returning
@@ -64,10 +70,17 @@ func newQueue(k QueueKind) eventQueue {
 	return newCalendarQueue()
 }
 
-// less is the total event order: time, then insertion sequence.
+// less is the total event order: time, then scheduling context (the global
+// context's src -1 ahead of node contexts ahead of transmission contexts),
+// then the context's own sequence. Insertion order never participates, so
+// equal-time events from different producers — two shards, or the serial
+// loop visiting the same producers in any order — always pop identically.
 func less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
 	}
 	return a.seq < b.seq
 }
@@ -95,7 +108,7 @@ func (q *heapQueue) compact(dead func(*event) bool) int {
 	return removed
 }
 
-// eventHeap is a min-heap on (at, seq).
+// eventHeap is a min-heap on (at, src, seq).
 type eventHeap []event
 
 func (h eventHeap) Len() int           { return len(h) }
@@ -118,7 +131,7 @@ func (h *eventHeap) Pop() any {
 // event lands in the bucket of its window; dequeue walks the calendar from
 // the current window forward, popping from a bucket only while its minimum
 // lies inside the window under the cursor. Each bucket is itself a tiny
-// binary heap on (at, seq), so the bucket minimum is its element 0 — the
+// binary heap on (at, src, seq), so the bucket minimum is its element 0 — the
 // in-window test is one comparison — and pathological workloads (every
 // event at one instant) degrade to a single bucket heap, i.e. exactly the
 // oracle's O(log n), never worse.
@@ -284,7 +297,7 @@ func (q *calendarQueue) compact(dead func(*event) bool) int {
 	return removed
 }
 
-// bucketHeap is one bucket: a small binary min-heap on (at, seq), inlined
+// bucketHeap is one bucket: a small binary min-heap on (at, src, seq), inlined
 // (no container/heap indirection) because push/pop on 1-2 element buckets
 // is the engine's hottest path.
 type bucketHeap []event

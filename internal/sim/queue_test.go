@@ -72,6 +72,52 @@ func TestCalendarMatchesHeapOracle(t *testing.T) {
 	}
 }
 
+// TestQueueTieBreakTwoProducers is the regression test for the same-instant
+// tie-break: two producers (distinct scheduling contexts) push equal-time
+// events, interleaved differently into each queue kind, and both kinds must
+// pop the identical (at, src, seq)-sorted order. Before the explicit total
+// order, ties fell back to insertion order — identical across queue kinds
+// only as long as a single serial loop did all the pushing, and violated by
+// parallel shards interleaving pushes nondeterministically.
+func TestQueueTieBreakTwoProducers(t *testing.T) {
+	// Two node contexts and one transmission context, colliding at two
+	// instants. seq counts each context's own events.
+	var evs []event
+	for seq := uint64(1); seq <= 40; seq++ {
+		for _, src := range []int32{3, 7, srcXmit(1)} {
+			evs = append(evs, event{at: 1000, src: src, seq: seq})
+			evs = append(evs, event{at: 2000, src: src, seq: seq})
+		}
+	}
+	cal := newQueue(QueueCalendar)
+	orc := newQueue(QueueHeap)
+	// Producer-interleaved insertion into the calendar; the exact reverse
+	// into the heap. If insertion order leaks into the pop order of either,
+	// the sequences cannot match.
+	for _, ev := range evs {
+		cal.push(ev)
+	}
+	for i := len(evs) - 1; i >= 0; i-- {
+		orc.push(evs[i])
+	}
+	var prev event
+	for n := 0; orc.len() > 0; n++ {
+		a, b := cal.pop(), orc.pop()
+		if a.at != b.at || a.src != b.src || a.seq != b.seq {
+			t.Fatalf("pop %d: calendar=(%d,%d,%d) heap=(%d,%d,%d)",
+				n, a.at, a.src, a.seq, b.at, b.src, b.seq)
+		}
+		if n > 0 && !less(&prev, &a) {
+			t.Fatalf("pop %d: (%d,%d,%d) not after (%d,%d,%d)",
+				n, a.at, a.src, a.seq, prev.at, prev.src, prev.seq)
+		}
+		prev = a
+	}
+	if cal.len() != 0 {
+		t.Fatalf("calendar holds %d events after heap drained", cal.len())
+	}
+}
+
 // TestCalendarSparseFarFuture exercises the direct-search fallback: a few
 // events scattered across a span vastly wider than one calendar year.
 func TestCalendarSparseFarFuture(t *testing.T) {

@@ -4,9 +4,14 @@
 // (measured in instructions, see package instr), and nodes exchange messages
 // over a network with configurable latency.
 //
-// The engine is sequential and fully deterministic: events are ordered by
-// (time, insertion sequence), so identical inputs always produce identical
-// virtual executions regardless of the host machine.
+// The engine is fully deterministic: events are totally ordered by
+// (time, context, per-context sequence), so identical inputs always produce
+// identical virtual executions regardless of the host machine. Two execution
+// engines dispatch that identical order: the serial engine (the oracle — one
+// event queue, one loop) and a conservative parallel engine (see parallel.go)
+// that shards the nodes across goroutines and synchronizes on windows derived
+// from the minimum network latency. Results are byte-identical either way;
+// the choice is host-side performance only (the -engine flag).
 //
 // The division of labor with the runtime (internal/core) is: sim owns
 // virtual time, event dispatch, and message transport timing; the runtime
@@ -16,6 +21,8 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/instr"
 )
@@ -44,7 +51,18 @@ type Node struct {
 	WordsSent int64
 
 	eng         *Engine
+	sh          *shard // the shard owning this node's events
 	pumpPending bool
+
+	// ctxSeq numbers events scheduled in this node's context (pumps, wakes,
+	// timers); xmitSeq numbers message deliveries originated by this node.
+	// Separate per-context counters — instead of one engine-global insertion
+	// sequence — make the total event order (at, src, seq) computable
+	// identically by the serial and the parallel engine: a context's events
+	// are numbered by that context's own progress, which both engines
+	// advance at the same points of the total order.
+	ctxSeq  uint64
+	xmitSeq uint64
 
 	// Fault-injection windows (see faults.go). stallUntil freezes the node
 	// until that time; slowUntil/slowFactor multiply every charged
@@ -58,18 +76,101 @@ type Node struct {
 
 // Down reports whether the node is inside a fail-stop crash window at the
 // current event time.
-func (n *Node) Down() bool { return n.downUntil > n.eng.now }
+func (n *Node) Down() bool { return n.downUntil > n.Now() }
+
+// Now returns the current event time in this node's context: the owning
+// shard's clock while a parallel window executes, the engine's global event
+// time otherwise. On the serial engine both are the same quantity.
+func (n *Node) Now() Time {
+	if n.eng.phase == phaseWindow {
+		return n.sh.now
+	}
+	return n.eng.gsh.now
+}
+
+// shard owns a partition of the nodes: their pending events, their portion
+// of the event-time clock, and the bookkeeping the engine used to keep
+// globally. The serial engine is the degenerate case of exactly one shard
+// holding every node and the global context.
+type shard struct {
+	eng *Engine
+	q   eventQueue
+	now Time
+
+	// Key of the event currently dispatching, stamped onto ordered-commit
+	// log entries so cross-shard side effects replay in total order.
+	curAt  Time
+	curSrc int32
+	curSeq uint64
+
+	servicePending   int
+	cancelledPending int
+	eventCount       int64
+	crashDrops       int64
+
+	// log accumulates this shard's deferred side effects during a parallel
+	// window (message transmissions, observer sinks); the barrier merges the
+	// shards' logs by event key and replays them single-threaded. Unused by
+	// the serial engine, which executes the same effects inline at the same
+	// points of the total order.
+	log []logEntry
+
+	// start releases this shard's worker for one window: the value is the
+	// dispatch horizon (exclusive). Closed to stop the worker.
+	start chan Time
+}
+
+// logEntry is one deferred side effect, stamped with the key of the event
+// that generated it.
+type logEntry struct {
+	at  Time
+	src int32
+	seq uint64
+	fn  func()
+}
+
+// Execution phases. The serial engine stays in phaseOrdered forever: every
+// event dispatch is already in total order, so side effects run inline. The
+// parallel engine alternates phaseWindow (shards dispatching concurrently —
+// side effects must defer to the log) with phaseOrdered (global events,
+// barrier replay — single-threaded in total order).
+const (
+	phaseOrdered = iota
+	phaseWindow
+)
+
+// NetDelayFunc computes the transport latency of one physical transmission:
+// the runtime installs its topology model here (SetNetDelay) so the engine
+// can evaluate contention-dependent latencies inside the ordered commit
+// phase, where shared link state is safe to touch.
+type NetDelayFunc func(from, to, words int, depart, flat Time) Time
 
 // Engine is the discrete-event core.
 type Engine struct {
-	nodes  []*Node
-	q      eventQueue
-	seq    uint64
-	now    Time
+	nodes []*Node
+
+	// gsh holds the global context: host-scheduled events (Schedule,
+	// AfterFunc, ScheduleService) stamped src = srcGlobal. On the serial
+	// engine it is also shards[0] — the single queue holding everything.
+	gsh    *shard
+	shards []*shard
+	gseq   uint64
+
 	runner Runner
 
-	// EventCount is the total number of events dispatched.
-	EventCount int64
+	// kind is the requested engine (see SetDefaultEngine); par reports that
+	// parallel execution is actually enabled (EnableParallel succeeded).
+	kind        EngineKind
+	shardTarget int
+	qkind       QueueKind
+	par         bool
+	phase       uint8
+	lookahead   Time
+	netHook     NetDelayFunc
+
+	// Worker pool for parallel windows (see parallel.go).
+	wg        sync.WaitGroup
+	workersUp bool
 
 	// Fault injection (nil when fault-free; see faults.go).
 	faults     *faultState
@@ -78,22 +179,26 @@ type Engine struct {
 	// chargeObs, if set, observes every clock advance (see SetChargeObserver).
 	chargeObs ChargeObserver
 
-	// servicePending counts scheduled service events (periodic ticks that
-	// must not, by themselves, keep the simulation alive).
-	servicePending int
-	// cancelledPending counts stopped timers whose dead events still sit in
-	// the queue; PendingWork subtracts them so cancelled retransmit timers
-	// cannot look like real work, and Timer.Stop compacts them out once
-	// they are the majority of the queue (see maybeCompact).
-	cancelledPending int
+	// merged is the barrier's reusable log-merge buffer.
+	merged []logEntry
 }
 
 // NewEngine creates an engine with n nodes, all clocks at zero. The event
-// store is chosen by the package default (see SetDefaultQueue).
+// store is chosen by the package default (see SetDefaultQueue), the engine
+// kind by SetDefaultEngine; a parallel-kind engine still dispatches serially
+// until the runtime calls EnableParallel with a positive lookahead.
 func NewEngine(n int) *Engine {
-	e := &Engine{nodes: make([]*Node, n), q: newQueue(defaultQueue)}
+	e := &Engine{
+		nodes:       make([]*Node, n),
+		kind:        defaultEngine,
+		shardTarget: defaultShards,
+		qkind:       defaultQueue,
+	}
+	sh := &shard{eng: e, q: newQueue(defaultQueue)}
+	e.gsh = sh
+	e.shards = []*shard{sh}
 	for i := range e.nodes {
-		e.nodes[i] = &Node{ID: i, eng: e}
+		e.nodes[i] = &Node{ID: i, eng: e, sh: sh}
 	}
 	return e
 }
@@ -102,13 +207,22 @@ func NewEngine(n int) *Engine {
 // before Run.
 func (e *Engine) SetRunner(r Runner) { e.runner = r }
 
+// SetNetDelay installs the topology-latency hook applied to every routed
+// transmission (SendRouted). The engine calls it in ordered-commit context —
+// serially, in total event order — so implementations may mutate shared
+// contention state (link busy times) without synchronization.
+func (e *Engine) SetNetDelay(hook NetDelayFunc) { e.netHook = hook }
+
 // ChargeObserver observes one virtual-clock advance on one node: the clock
 // value before the advance, the accounting category, and the cost applied
 // (post any brown-out multiplier). Every clock mutation — Charge and the
 // pump's idle accounting — is reported, so per node the observed costs are
 // contiguous and sum exactly to the final clock. Observers must not charge
 // or schedule; they exist so an observability layer can attribute cycles
-// without perturbing the simulation.
+// without perturbing the simulation. Under the parallel engine the observer
+// is called from shard goroutines inside windows: implementations that
+// record into shared state must defer the recording through Node.Ordered
+// (the runtime's metrics installer does).
 type ChargeObserver func(node int, op instr.Op, start Time, cost Time)
 
 // SetChargeObserver installs obs (nil removes it). Install before Run.
@@ -123,19 +237,60 @@ func (e *Engine) Node(i int) *Node { return e.nodes[i] }
 // NumNodes returns the machine size.
 func (e *Engine) NumNodes() int { return len(e.nodes) }
 
-// Now returns the engine's current event time. Individual node clocks may
-// be ahead of it (a node executes a whole task within one event).
-func (e *Engine) Now() Time { return e.now }
+// Now returns the engine's current global event time. Individual node clocks
+// may be ahead of it (a node executes a whole task within one event); during
+// a parallel window individual shard clocks advance past it — node-context
+// code must use Node.Now.
+func (e *Engine) Now() Time { return e.gsh.now }
 
-// Schedule registers fn to run at virtual time at. Scheduling in the past
-// (before the current event time) is a programming error and panics: it
-// would break determinism.
-func (e *Engine) Schedule(at Time, fn func()) {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+// EventCount returns the total number of events dispatched.
+func (e *Engine) EventCount() int64 {
+	c := e.gsh.eventCount
+	for _, sh := range e.shards {
+		if sh != e.gsh {
+			c += sh.eventCount
+		}
 	}
-	e.seq++
-	e.q.push(event{at: at, seq: e.seq, fn: fn})
+	return c
+}
+
+// push inserts one event into the shard's queue.
+func (sh *shard) push(ev event) {
+	if ev.service {
+		sh.servicePending++
+	}
+	sh.q.push(ev)
+}
+
+// dispatch runs one event: advances the shard clock, settles timer and
+// service bookkeeping, and invokes the callback with the event's key current
+// (for ordered-log stamping).
+func (sh *shard) dispatch(ev event) {
+	if ev.service {
+		sh.servicePending--
+	}
+	sh.now = ev.at
+	sh.curAt, sh.curSrc, sh.curSeq = ev.at, ev.src, ev.seq
+	sh.eventCount++
+	if t := ev.timer; t != nil {
+		if t.stopped {
+			// A cancelled timer that escaped compaction: its slot pops here,
+			// advancing event time but running nothing.
+			sh.cancelledPending--
+			return
+		}
+		t.fired = true
+	}
+	ev.fn()
+}
+
+// Schedule registers fn to run at virtual time at, in the global context
+// (host setup, workload injection, service generators). Scheduling in the
+// past is a programming error and panics: it would break determinism. Under
+// the parallel engine the global context must not be touched from inside a
+// window — node-context code schedules through Node.AfterFunc and Wake.
+func (e *Engine) Schedule(at Time, fn func()) {
+	e.pushGlobal(at, fn, false, nil)
 }
 
 // ScheduleService registers a service event: a periodic tick (migration
@@ -143,18 +298,35 @@ func (e *Engine) Schedule(at Time, fn func()) {
 // its own. PendingWork excludes service events, so services that reschedule
 // only while PendingWork() > 0 cannot sustain each other indefinitely.
 func (e *Engine) ScheduleService(at Time, fn func()) {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	e.pushGlobal(at, fn, true, nil)
+}
+
+func (e *Engine) pushGlobal(at Time, fn func(), service bool, t *Timer) {
+	if e.phase == phaseWindow {
+		panic("sim: global-context schedule from inside a parallel window")
 	}
-	e.seq++
-	e.servicePending++
-	e.q.push(event{at: at, seq: e.seq, fn: fn, service: true})
+	if at < e.gsh.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.gsh.now))
+	}
+	e.gseq++
+	e.gsh.push(event{at: at, src: srcGlobal, seq: e.gseq, fn: fn, service: service, timer: t})
+}
+
+// schedule registers fn in node n's context: the event is stamped with n's
+// identity and n's own sequence counter, which both engines advance at the
+// same points of the total order.
+func (n *Node) schedule(at Time, fn func(), service bool, t *Timer) {
+	if at < n.Now() {
+		panic(fmt.Sprintf("sim: node %d schedule at %d before now %d", n.ID, at, n.Now()))
+	}
+	n.ctxSeq++
+	n.sh.push(event{at: at, src: int32(n.ID), seq: n.ctxSeq, fn: fn, service: service, timer: t})
 }
 
 // Timer is a cancellable scheduled callback (see AfterFunc). The runtime
 // layer uses timers for retransmissions and delayed acks.
 type Timer struct {
-	eng     *Engine
+	sh      *shard
 	stopped bool
 	fired   bool
 }
@@ -164,62 +336,97 @@ type Timer struct {
 // time comes (running nothing, advancing no node clock, and not counting as
 // pending work — PendingWork excludes cancelled timers, so a stopped
 // retransmit timer cannot spuriously sustain a periodic service past
-// quiescence). Once cancelled timers exceed half the queue it is compacted
-// in place, so at scale dead retransmit timers are bounded dead weight, not
-// unbounded.
+// quiescence). Once cancelled timers exceed half their shard's queue the
+// queue is compacted in place, so at scale dead retransmit timers are
+// bounded dead weight, not unbounded.
+//
+// Compaction is shard-local: the trigger counter, the sweep, and the queue
+// all belong to the shard that owns the timer, so one shard compacting
+// cannot reorder (or even observe) another shard's pending events. Stop must
+// be called from the timer's owning context — the owning node's events or
+// the global phase — which is where every runtime call site already lives;
+// a cross-shard Stop inside a window would be a data race by construction
+// and is caught by the race detector.
 func (t *Timer) Stop() {
 	if t.stopped || t.fired {
 		return
 	}
 	t.stopped = true
-	t.eng.cancelledPending++
-	t.eng.maybeCompact()
+	t.sh.cancelledPending++
+	t.sh.maybeCompact()
 }
 
-// AfterFunc schedules fn to run after delay (from the current event time)
-// unless the returned timer is stopped first.
+// AfterFunc schedules fn to run after delay in the global context. Node-side
+// timers (retransmissions, delayed acks, flush windows) use Node.AfterFunc.
 func (e *Engine) AfterFunc(delay Time, fn func()) *Timer {
 	if delay < 0 {
 		delay = 0
 	}
-	t := &Timer{eng: e}
-	e.seq++
-	e.q.push(event{at: e.now + delay, seq: e.seq, fn: fn, timer: t})
+	t := &Timer{sh: e.gsh}
+	e.pushGlobal(e.gsh.now+delay, fn, false, t)
 	return t
+}
+
+// AfterFunc schedules fn to run after delay (from the current event time) in
+// this node's context, unless the returned timer is stopped first.
+func (n *Node) AfterFunc(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	t := &Timer{sh: n.sh}
+	n.schedule(n.Now()+delay, fn, false, t)
+	return t
+}
+
+// Ordered defers fn to the engine's next ordered-commit point when called
+// from inside a parallel window, and runs it inline otherwise. Deferred
+// functions replay single-threaded in total event order, keyed by the event
+// that called Ordered — so sinks shared across nodes (trace buffers, metrics
+// registries, application-level accounting) observe the identical sequence
+// under both engines. On the serial engine this is always an inline call:
+// the serial path pays no closure or log cost beyond this method.
+func (n *Node) Ordered(fn func()) {
+	if n.eng.phase == phaseWindow {
+		sh := n.sh
+		sh.log = append(sh.log, logEntry{sh.curAt, sh.curSrc, sh.curSeq, fn})
+		return
+	}
+	fn()
 }
 
 // compactMinQueue: below this queue length compaction is not worth the
 // rebuild; the dead slots pop out soon enough on their own.
 const compactMinQueue = 64
 
-// maybeCompact removes cancelled-timer events from the queue in place when
-// they outnumber the live events. The trigger and the removal are functions
-// of (queue contents, cancel order) only — identical under either queue
-// implementation — so determinism is unaffected.
-func (e *Engine) maybeCompact() {
-	n := e.q.len()
-	if n < compactMinQueue || e.cancelledPending <= n/2 {
+// maybeCompact removes cancelled-timer events from the shard's queue in
+// place when they outnumber the live events. The trigger and the removal are
+// functions of (queue contents, cancel order) only — identical under either
+// queue implementation — so determinism is unaffected.
+func (sh *shard) maybeCompact() {
+	n := sh.q.len()
+	if n < compactMinQueue || sh.cancelledPending <= n/2 {
 		return
 	}
-	removed := e.q.compact(func(ev *event) bool {
+	removed := sh.q.compact(func(ev *event) bool {
 		return ev.timer != nil && ev.timer.stopped
 	})
-	e.cancelledPending -= removed
+	sh.cancelledPending -= removed
 }
 
 // Wake ensures node n will get a chance to run pending work. If a pump is
 // already scheduled for n this is a no-op; otherwise a pump event is
-// scheduled at the node's current clock (or now, whichever is later).
+// scheduled at the node's current clock (or now, whichever is later), in n's
+// own context.
 func (e *Engine) Wake(n *Node) {
 	if n.pumpPending {
 		return
 	}
 	n.pumpPending = true
-	at := e.now
+	at := n.Now()
 	if n.Clock > at {
 		at = n.Clock
 	}
-	e.Schedule(at, func() { e.pump(n) })
+	n.schedule(at, func() { e.pump(n) }, false, nil)
 }
 
 // pump runs exactly one task on n, then reschedules itself while work
@@ -228,28 +435,29 @@ func (e *Engine) Wake(n *Node) {
 // its pump is deferred to the window edge and arrived work queues up.
 func (e *Engine) pump(n *Node) {
 	n.pumpPending = false
-	if n.stallUntil > e.now {
+	now := n.sh.now
+	if n.stallUntil > now {
 		// Deferred as a service event: the stalled pump will still run at
 		// the window edge, but must not count as pending real work (the
 		// window generator would see it and keep opening windows forever).
 		n.pumpPending = true
-		e.ScheduleService(n.stallUntil, func() { e.pump(n) })
+		n.schedule(n.stallUntil, func() { e.pump(n) }, true, nil)
 		return
 	}
-	if n.Clock < e.now {
+	if n.Clock < now {
 		if e.chargeObs != nil {
-			e.chargeObs(n.ID, instr.OpIdle, n.Clock, e.now-n.Clock)
+			e.chargeObs(n.ID, instr.OpIdle, n.Clock, now-n.Clock)
 		}
-		n.Counters.Add(instr.OpIdle, e.now-n.Clock)
-		n.Clock = e.now
+		n.Counters.Add(instr.OpIdle, now-n.Clock)
+		n.Clock = now
 	}
 	if e.runner.RunOne(n) {
 		n.pumpPending = true
 		at := n.Clock
-		if at < e.now {
-			at = e.now
+		if at < now {
+			at = now
 		}
-		e.Schedule(at, func() { e.pump(n) })
+		n.schedule(at, func() { e.pump(n) }, false, nil)
 	}
 }
 
@@ -259,7 +467,7 @@ func (e *Engine) pump(n *Node) {
 // Payload words are counted for statistics only; serialization costs are
 // charged by the runtime layer.
 func (e *Engine) Send(from, to *Node, latency Time, words int, deliver func()) {
-	e.SendAt(from, to, from.Clock, latency, words, deliver)
+	e.sendCommon(from, to, from.Clock, latency, words, false, deliver)
 }
 
 // SendAt is Send with the departure time given explicitly instead of taken
@@ -268,45 +476,96 @@ func (e *Engine) Send(from, to *Node, latency Time, words int, deliver func()) {
 // when their timer fires, not serialized behind whatever the node's CPU is
 // executing (its clock may be far ahead of the event driving the timer).
 func (e *Engine) SendAt(from, to *Node, depart, latency Time, words int, deliver func()) {
+	e.sendCommon(from, to, depart, latency, words, false, deliver)
+}
+
+// SendRouted is SendAt routed through the installed topology hook (see
+// SetNetDelay): the final latency is computed at the engine's ordered-commit
+// point — in total event order, where shared link-contention state is safe —
+// from the departure time and the flat fallback latency. With no hook
+// installed the flat latency is used as-is.
+func (e *Engine) SendRouted(from, to *Node, depart, flat Time, words int, deliver func()) {
+	e.sendCommon(from, to, depart, flat, words, true, deliver)
+}
+
+// sendCommon charges sender statistics immediately (they are sender-local)
+// and routes the transmission itself — fault draws, topology latency, the
+// delivery push — through the ordered-commit point: inline on the serial
+// engine, deferred to the barrier under a parallel window. The sender's
+// clock and the event time are captured here, at the send instruction, so
+// deferred processing observes the values the serial engine would have.
+func (e *Engine) sendCommon(from, to *Node, depart, lat Time, words int, routed bool, deliver func()) {
 	from.MsgsSent++
 	from.WordsSent += int64(words)
-	arrive := depart + latency
-	if arrive < e.now {
-		arrive = e.now
+	if e.phase == phaseWindow {
+		sh := from.sh
+		base, clk := sh.now, from.Clock
+		sh.log = append(sh.log, logEntry{sh.curAt, sh.curSrc, sh.curSeq, func() {
+			e.xmit(from, to, depart, lat, words, routed, base, clk, deliver)
+		}})
+		return
+	}
+	e.xmit(from, to, depart, lat, words, routed, e.gsh.now, from.Clock, deliver)
+}
+
+// xmit performs the ordered half of one transmission: topology latency,
+// fault draws (in total event order, off the single seeded source), and the
+// delivery-event push. base is the event time of the send instruction (the
+// arrival clamp floor); clk is the sender's clock then (the trace timestamp
+// of any injected fault).
+func (e *Engine) xmit(from, to *Node, depart, lat Time, words int, routed bool, base, clk Time, deliver func()) {
+	if routed && e.netHook != nil {
+		lat = e.netHook(from.ID, to.ID, words, depart, lat)
+	}
+	if e.par && lat < e.lookahead {
+		panic(fmt.Sprintf("sim: transmission latency %d below the %d-instruction lookahead; the conservative window is unsound", lat, e.lookahead))
+	}
+	arrive := depart + lat
+	if arrive < base {
+		arrive = base
 	}
 	if f := e.faults; f != nil {
 		cfg := f.cfg
 		if f.hit(cfg.Drop) {
-			e.observeFault(FaultDrop, from, to, words, 0)
+			e.observeFault(FaultDrop, from, to, words, 0, clk)
 			return
 		}
 		if f.hit(cfg.Reorder) {
 			j := f.jitter(cfg.JitterMax)
-			e.observeFault(FaultJitter, from, to, words, j)
+			e.observeFault(FaultJitter, from, to, words, j, clk)
 			arrive += j
 		}
 		if f.hit(cfg.Dup) {
-			e.observeFault(FaultDup, from, to, words, 0)
+			e.observeFault(FaultDup, from, to, words, 0, clk)
 			dup := arrive + f.jitter(cfg.JitterMax+1)
-			e.deliverAt(to, dup, deliver)
+			e.deliverAt(from, to, dup, arrival(to, deliver))
 		}
 	}
-	e.deliverAt(to, arrive, deliver)
+	e.deliverAt(from, to, arrive, arrival(to, deliver))
 }
 
-// deliverAt schedules one physical delivery of a message at node `to`.
-// A message arriving inside the destination's crash window is lost — the
-// node's NIC is down with the rest of it.
-func (e *Engine) deliverAt(to *Node, arrive Time, deliver func()) {
-	e.Schedule(arrive, func() {
-		if to.downUntil > e.now {
-			e.faultStats.CrashDrops++
+// arrival wraps one physical delivery: a message arriving inside the
+// destination's crash window is lost — the node's NIC is down with the rest
+// of it.
+func arrival(to *Node, deliver func()) func() {
+	return func() {
+		if to.downUntil > to.sh.now {
+			to.sh.crashDrops++
 			return
 		}
 		to.MsgsRecv++
 		deliver()
-		e.Wake(to)
-	})
+		to.eng.Wake(to)
+	}
+}
+
+// deliverAt schedules one physical delivery at node `to`. The event is
+// stamped in the sender's transmission context — srcXmit(from), sequenced by
+// the sender's xmitSeq at processing time — which both engines reach in the
+// same total order, so delivery events sort identically under either.
+func (e *Engine) deliverAt(from, to *Node, arrive Time, fn func()) {
+	from.xmitSeq++
+	to.sh.push(event{at: arrive, src: srcXmit(from.ID), seq: from.xmitSeq, fn: fn})
 }
 
 // Run dispatches events until none remain. The runtime layer keeps nodes
@@ -314,23 +573,43 @@ func (e *Engine) deliverAt(to *Node, arrive Time, deliver func()) {
 // quiescence: every node idle with empty queues.
 func (e *Engine) Run() {
 	e.startFaultClock()
-	for e.q.len() > 0 {
-		e.step()
+	if e.par {
+		e.runParallel(maxTime)
+		return
+	}
+	sh := e.gsh
+	for sh.q.len() > 0 {
+		sh.dispatch(sh.q.pop())
 	}
 }
+
+// maxTime is the no-limit sentinel for RunUntil-style bounds.
+const maxTime = Time(1)<<62 - 1
 
 // RunUntil dispatches events with time <= t, then stops. It returns true if
 // events remain.
 func (e *Engine) RunUntil(t Time) bool {
 	e.startFaultClock()
-	for e.q.len() > 0 && e.q.peekAt() <= t {
-		e.step()
+	if e.par {
+		return e.runParallel(t)
 	}
-	return e.q.len() > 0
+	sh := e.gsh
+	for sh.q.len() > 0 && sh.q.peekAt() <= t {
+		sh.dispatch(sh.q.pop())
+	}
+	return sh.q.len() > 0
 }
 
 // Pending returns the number of undispatched events.
-func (e *Engine) Pending() int { return e.q.len() }
+func (e *Engine) Pending() int {
+	p := e.gsh.q.len()
+	for _, sh := range e.shards {
+		if sh != e.gsh {
+			p += sh.q.len()
+		}
+	}
+	return p
+}
 
 // PendingWork returns the number of undispatched events that represent real
 // work: service events and cancelled timers are excluded. Periodic services
@@ -338,35 +617,28 @@ func (e *Engine) Pending() int { return e.q.len() }
 // (counting each other — or a dead retransmit timer's heap slot — would
 // sustain them forever).
 func (e *Engine) PendingWork() int {
-	return e.q.len() - e.servicePending - e.cancelledPending
+	w := e.gsh.q.len() - e.gsh.servicePending - e.gsh.cancelledPending
+	for _, sh := range e.shards {
+		if sh != e.gsh {
+			w += sh.q.len() - sh.servicePending - sh.cancelledPending
+		}
+	}
+	return w
 }
 
-// Step dispatches a single event, returning false if none remain.
+// Step dispatches a single event, returning false if none remain. Under the
+// parallel engine one "step" is one synchronization round: a single global
+// event, or one full window plus its barrier.
 func (e *Engine) Step() bool {
-	if e.q.len() == 0 {
+	if e.par {
+		return e.stepParallel()
+	}
+	sh := e.gsh
+	if sh.q.len() == 0 {
 		return false
 	}
-	e.step()
+	sh.dispatch(sh.q.pop())
 	return true
-}
-
-func (e *Engine) step() {
-	ev := e.q.pop()
-	if ev.service {
-		e.servicePending--
-	}
-	e.now = ev.at
-	e.EventCount++
-	if t := ev.timer; t != nil {
-		if t.stopped {
-			// A cancelled timer that escaped compaction: its slot pops here,
-			// advancing event time but running nothing.
-			e.cancelledPending--
-			return
-		}
-		t.fired = true
-	}
-	ev.fn()
 }
 
 // MaxClock returns the maximum node clock — the parallel completion time.
@@ -411,13 +683,38 @@ func Charge(n *Node, op instr.Op, cost instr.Instr) {
 	n.Counters.Add(op, cost)
 }
 
-// event is a scheduled callback. timer is set for AfterFunc events so that
+// event is a scheduled callback. The (at, src, seq) triple is the engine's
+// total order: src identifies the scheduling context (srcGlobal the global
+// context, srcXmit(n) deliveries transmitted by node n, [0, N) node n's own
+// events) and seq is that context's own counter — so any two events compare
+// identically whether they were queued by the serial loop or by different
+// shards of the parallel engine. timer is set for AfterFunc events so that
 // cancellation can be observed at dispatch (and dead events identified by
 // compaction) without wrapping fn in a closure per timer.
+//
+// The class ordering (global < transmission < node) is load-bearing for the
+// parallel engine: every same-instant child is scheduled in a context that
+// sorts at or after its parent's (global events spawn anything; deliveries
+// wake node pumps; node events reschedule only their own context at higher
+// seq), so dispatch order never inverts key order, and the barrier's
+// key-sorted replay of deferred side effects reproduces the serial engine's
+// dispatch order exactly.
 type event struct {
 	at      Time
 	seq     uint64
 	fn      func()
+	src     int32
 	service bool
 	timer   *Timer
 }
+
+// srcGlobal is the global context's src: the minimum, so at any instant
+// host-scheduled events dispatch before deliveries and node events (the
+// parallel round relies on this when it runs a global event due at the same
+// time as the earliest node event).
+const srcGlobal int32 = math.MinInt32
+
+// srcXmit is the transmission context of sender node id: below every node
+// context (so a delivery's same-instant children — pump wakes — sort after
+// it) and above srcGlobal.
+func srcXmit(id int) int32 { return int32(-2 - id) }
